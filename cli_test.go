@@ -1,0 +1,275 @@
+package repro_test
+
+// End-to-end CLI integration tests: build the three commands and drive the
+// full generate → embed → attack → detect pipeline through real processes
+// and CSV files, the way a downstream user would.
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const itemScanSpec = "Visit_Nbr:int!key, Item_Nbr:int:categorical"
+
+// buildCommands compiles the CLIs once into a shared temp dir.
+func buildCommands(t *testing.T) map[string]string {
+	t.Helper()
+	dir := t.TempDir()
+	bins := map[string]string{}
+	for _, name := range []string{"wmtool", "wmdatagen", "wmexperiments"} {
+		bin := filepath.Join(dir, name)
+		cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
+		cmd.Dir = "."
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("building %s: %v\n%s", name, err, out)
+		}
+		bins[name] = bin
+	}
+	return bins
+}
+
+func run(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	out, err := exec.Command(bin, args...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %s: %v\n%s", filepath.Base(bin), strings.Join(args, " "), err, out)
+	}
+	return string(out)
+}
+
+func runExpectFail(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	out, err := exec.Command(bin, args...).CombinedOutput()
+	if err == nil {
+		t.Fatalf("%s %s: expected failure\n%s", filepath.Base(bin), strings.Join(args, " "), out)
+	}
+	return string(out)
+}
+
+func TestCLIPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bins := buildCommands(t)
+	dir := t.TempDir()
+	data := filepath.Join(dir, "itemscan.csv")
+	marked := filepath.Join(dir, "marked.csv")
+	attacked := filepath.Join(dir, "attacked.csv")
+	domain := filepath.Join(dir, "Item_Nbr.domain")
+
+	// 1. Generate, including the catalog file the detector will need.
+	out := run(t, bins["wmdatagen"], "-dataset", "itemscan", "-n", "8000",
+		"-catalog", "400", "-seed", "cli-test", "-out", data, "-domains-dir", dir)
+	if !strings.Contains(out, "wrote 8000 tuples") {
+		t.Fatalf("datagen output: %s", out)
+	}
+	if _, err := os.Stat(domain); err != nil {
+		t.Fatalf("catalog file missing: %v", err)
+	}
+
+	// 2. Embed against the catalog domain.
+	out = run(t, bins["wmtool"], "embed", "-in", data, "-schema", itemScanSpec,
+		"-attr", "Item_Nbr", "-wm", "1011001110", "-k1", "cli-s1", "-k2", "cli-s2",
+		"-e", "40", "-domain", domain, "-out", marked)
+	if !strings.Contains(out, "embedded 10-bit watermark") {
+		t.Fatalf("embed output: %s", out)
+	}
+	// Bandwidth 8000/40 = 200 appears in the output for the detect step.
+	if !strings.Contains(out, "bandwidth |wm_data|: 200") {
+		t.Fatalf("embed output lacks bandwidth: %s", out)
+	}
+
+	// 3. Detect on the intact file.
+	out = run(t, bins["wmtool"], "detect", "-in", marked, "-schema", itemScanSpec,
+		"-attr", "Item_Nbr", "-wmlen", "10", "-k1", "cli-s1", "-k2", "cli-s2",
+		"-e", "40", "-domain", domain, "-expect", "1011001110")
+	if !strings.Contains(out, "detected watermark: 1011001110") {
+		t.Fatalf("detect output: %s", out)
+	}
+	if !strings.Contains(out, "match vs expected: 100.0%") {
+		t.Fatalf("detect match: %s", out)
+	}
+
+	// 4. Attack: drop 50% of tuples, then detect with the recorded
+	// bandwidth and the catalog domain.
+	run(t, bins["wmtool"], "attack", "-in", marked, "-schema", itemScanSpec,
+		"-type", "subset", "-frac", "0.5", "-seed", "cli-attack", "-out", attacked)
+	out = run(t, bins["wmtool"], "detect", "-in", attacked, "-schema", itemScanSpec,
+		"-attr", "Item_Nbr", "-wmlen", "10", "-k1", "cli-s1", "-k2", "cli-s2",
+		"-e", "40", "-bandwidth", "200", "-domain", domain, "-expect", "1011001110")
+	if !strings.Contains(out, "match vs expected: 100.0%") {
+		t.Fatalf("post-attack detect: %s", out)
+	}
+
+	// 4b. The documented pitfall: detecting the attacked file *without*
+	// the catalog derives a shifted domain and degrades the match.
+	out = run(t, bins["wmtool"], "detect", "-in", attacked, "-schema", itemScanSpec,
+		"-attr", "Item_Nbr", "-wmlen", "10", "-k1", "cli-s1", "-k2", "cli-s2",
+		"-e", "40", "-bandwidth", "200", "-expect", "1011001110")
+	if strings.Contains(out, "match vs expected: 100.0%") {
+		t.Logf("note: data-derived domain happened to survive the subset attack intact")
+	}
+
+	// 5. Wrong keys must not reproduce the mark.
+	out = run(t, bins["wmtool"], "detect", "-in", marked, "-schema", itemScanSpec,
+		"-attr", "Item_Nbr", "-wmlen", "10", "-k1", "wrong", "-k2", "keys",
+		"-e", "40", "-expect", "1011001110")
+	if strings.Contains(out, "match vs expected: 100.0%") {
+		t.Fatalf("wrong keys matched: %s", out)
+	}
+}
+
+// TestCLICertificateFlow exercises the recommended watermark/verify flow:
+// one certificate file carries everything needed for later verification,
+// including after an attack and after a bijective remap.
+func TestCLICertificateFlow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bins := buildCommands(t)
+	dir := t.TempDir()
+	data := filepath.Join(dir, "data.csv")
+	marked := filepath.Join(dir, "marked.csv")
+	attacked := filepath.Join(dir, "attacked.csv")
+	remapped := filepath.Join(dir, "remapped.csv")
+	record := filepath.Join(dir, "record.json")
+
+	run(t, bins["wmdatagen"], "-dataset", "itemscan", "-n", "20000",
+		"-catalog", "300", "-zipf", "1.2", "-seed", "cert-test", "-out", data)
+	out := run(t, bins["wmtool"], "watermark", "-in", data, "-schema", itemScanSpec,
+		"-attr", "Item_Nbr", "-secret", "cert-secret", "-wm", "1011001110",
+		"-e", "50", "-out", marked, "-record", record)
+	if !strings.Contains(out, "certificate written") {
+		t.Fatalf("watermark output: %s", out)
+	}
+
+	// Verify intact.
+	out = run(t, bins["wmtool"], "verify", "-in", marked, "-schema", itemScanSpec,
+		"-record", record)
+	if !strings.Contains(out, "verdict: WATERMARK PRESENT") {
+		t.Fatalf("verify output: %s", out)
+	}
+	if !strings.Contains(out, "bit agreement:      100.0%") {
+		t.Fatalf("verify agreement: %s", out)
+	}
+
+	// Verify after a 50% subset attack — the record carries the bandwidth.
+	run(t, bins["wmtool"], "attack", "-in", marked, "-schema", itemScanSpec,
+		"-type", "subset", "-frac", "0.5", "-seed", "cert-attack", "-out", attacked)
+	out = run(t, bins["wmtool"], "verify", "-in", attacked, "-schema", itemScanSpec,
+		"-record", record)
+	if !strings.Contains(out, "verdict: WATERMARK PRESENT") {
+		t.Fatalf("post-attack verify: %s", out)
+	}
+
+	// Verify after a bijective remap — automatic Section 4.5 recovery.
+	run(t, bins["wmtool"], "attack", "-in", marked, "-schema", itemScanSpec,
+		"-type", "remap", "-attr", "Item_Nbr", "-seed", "cert-remap", "-out", remapped)
+	out = run(t, bins["wmtool"], "verify", "-in", remapped, "-schema", itemScanSpec,
+		"-record", record)
+	if !strings.Contains(out, "inverse mapping") {
+		t.Fatalf("remap recovery note missing: %s", out)
+	}
+	if !strings.Contains(out, "verdict: WATERMARK PRESENT") &&
+		!strings.Contains(out, "verdict: partial match") {
+		t.Fatalf("post-remap verify: %s", out)
+	}
+
+	// The certificate is the secret: verification with a corrupted record
+	// must fail cleanly.
+	if err := os.WriteFile(record, []byte(`{"secret":""}`), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	runExpectFail(t, bins["wmtool"], "verify", "-in", marked, "-schema", itemScanSpec,
+		"-record", record)
+}
+
+func TestCLIAttackVariants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bins := buildCommands(t)
+	dir := t.TempDir()
+	data := filepath.Join(dir, "data.csv")
+	run(t, bins["wmdatagen"], "-dataset", "itemscan", "-n", "2000",
+		"-catalog", "100", "-seed", "variants", "-out", data)
+
+	for _, tc := range []struct {
+		typ  string
+		args []string
+	}{
+		{"addition", nil},
+		{"alteration", []string{"-attr", "Item_Nbr"}},
+		{"shuffle", nil},
+		{"sort", []string{"-attr", "Item_Nbr"}},
+		{"remap", []string{"-attr", "Item_Nbr"}},
+	} {
+		out := filepath.Join(dir, tc.typ+".csv")
+		args := append([]string{"attack", "-in", data, "-schema", itemScanSpec,
+			"-type", tc.typ, "-frac", "0.2", "-out", out}, tc.args...)
+		run(t, bins["wmtool"], args...)
+		if _, err := os.Stat(out); err != nil {
+			t.Errorf("%s: no output file", tc.typ)
+		}
+	}
+}
+
+func TestCLIAnalyze(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bins := buildCommands(t)
+	out := run(t, bins["wmtool"], "analyze", "-n", "6000", "-e", "60",
+		"-a", "1200", "-p", "0.7", "-r", "15")
+	for _, want := range []string{
+		"marked tuples attacked (a/e):     20",
+		"P(r,a) normal approx",
+		"minimum e",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("analyze output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCLIExperimentsTableA(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bins := buildCommands(t)
+	dir := t.TempDir()
+	out := run(t, bins["wmexperiments"], "-run", "tablea", "-outdir", dir)
+	if !strings.Contains(out, "Table A") {
+		t.Fatalf("experiments output: %s", out)
+	}
+	csv, err := os.ReadFile(filepath.Join(dir, "tablea.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(csv), "row,paper_value,computed") {
+		t.Fatalf("tablea.csv header: %s", csv[:40])
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bins := buildCommands(t)
+	// Missing required flags.
+	runExpectFail(t, bins["wmtool"], "embed", "-in", "x.csv")
+	// Unknown command.
+	runExpectFail(t, bins["wmtool"], "frobnicate")
+	// Unknown attack type.
+	dir := t.TempDir()
+	data := filepath.Join(dir, "d.csv")
+	run(t, bins["wmdatagen"], "-dataset", "itemscan", "-n", "100",
+		"-catalog", "10", "-out", data)
+	runExpectFail(t, bins["wmtool"], "attack", "-in", data, "-schema", itemScanSpec,
+		"-type", "nuke", "-out", filepath.Join(dir, "o.csv"))
+	// Datagen without -out.
+	runExpectFail(t, bins["wmdatagen"], "-dataset", "itemscan")
+}

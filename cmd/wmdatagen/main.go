@@ -1,0 +1,100 @@
+// Command wmdatagen generates the synthetic datasets the experiments run
+// on: the Wal-Mart ItemScan stand-in and the airline-reservation relation
+// (see internal/datagen and the DESIGN.md substitution table).
+//
+// Usage:
+//
+//	wmdatagen -dataset itemscan -n 141000 -catalog 1000 -zipf 1.0 -seed s -out itemscan.csv
+//	wmdatagen -dataset airline  -n 10000  -cities 50 -airlines 20 -seed s -out airline.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/datagen"
+	"repro/internal/relation"
+)
+
+func main() {
+	dataset := flag.String("dataset", "itemscan", "itemscan | airline")
+	n := flag.Int("n", 20000, "number of tuples")
+	catalog := flag.Int("catalog", 1000, "itemscan: product catalog size")
+	zipf := flag.Float64("zipf", 1.0, "itemscan: popularity skew exponent")
+	cities := flag.Int("cities", 50, "airline: number of departure cities")
+	airlines := flag.Int("airlines", 20, "airline: number of carriers")
+	seed := flag.String("seed", "wmdatagen", "generation seed")
+	out := flag.String("out", "", "output CSV (required)")
+	domainsDir := flag.String("domains-dir", "", "optional directory for <attr>.domain catalog files (one value per line); detectors need the catalog, not the sample")
+	flag.Parse()
+
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "wmdatagen: -out is required")
+		os.Exit(2)
+	}
+
+	var (
+		r       *relation.Relation
+		domains = map[string]*relation.Domain{}
+		err     error
+	)
+	switch *dataset {
+	case "itemscan":
+		var items *relation.Domain
+		r, items, err = datagen.ItemScan(datagen.ItemScanConfig{
+			N: *n, CatalogSize: *catalog, ZipfS: *zipf, Seed: *seed,
+		})
+		domains["Item_Nbr"] = items
+	case "airline":
+		var cityDom, airDom *relation.Domain
+		r, cityDom, airDom, err = datagen.Airline(datagen.AirlineConfig{
+			N: *n, Cities: *cities, Airlines: *airlines, Seed: *seed,
+		})
+		domains["departure_city"] = cityDom
+		domains["airline"] = airDom
+	default:
+		err = fmt.Errorf("unknown dataset %q", *dataset)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wmdatagen:", err)
+		os.Exit(1)
+	}
+
+	if *domainsDir != "" {
+		if err := os.MkdirAll(*domainsDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "wmdatagen:", err)
+			os.Exit(1)
+		}
+		for attr, dom := range domains {
+			if dom == nil {
+				continue
+			}
+			path := filepath.Join(*domainsDir, attr+".domain")
+			if err := os.WriteFile(path, []byte(strings.Join(dom.Values(), "\n")+"\n"), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "wmdatagen:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %d catalog values to %s\n", dom.Size(), path)
+		}
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wmdatagen:", err)
+		os.Exit(1)
+	}
+	if err := relation.WriteCSV(f, r); err != nil {
+		f.Close()
+		fmt.Fprintln(os.Stderr, "wmdatagen:", err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "wmdatagen:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %d tuples to %s\n", r.Len(), *out)
+	fmt.Printf("schema spec: %s\n", relation.SchemaSpec(r.Schema()))
+}

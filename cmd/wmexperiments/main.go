@@ -1,0 +1,129 @@
+// Command wmexperiments regenerates every figure and table of the paper's
+// evaluation, printing aligned text to stdout and writing CSV files.
+//
+// Usage:
+//
+//	wmexperiments -run all                 # figures 4-7 + Table A + ablations
+//	wmexperiments -run fig4,fig7,tablea    # selected artifacts
+//	wmexperiments -scale paper             # full N=141000, 15 passes
+//	wmexperiments -outdir results          # CSV destination
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+type artifact struct {
+	name string
+	file string
+	run  func(experiments.Config) (*experiments.Table, error)
+}
+
+var artifacts = []artifact{
+	{"fig4", "figure4.csv", experiments.Figure4},
+	{"fig5", "figure5.csv", experiments.Figure5},
+	{"fig6", "figure6.csv", experiments.Figure6},
+	{"fig7", "figure7.csv", experiments.Figure7},
+	{"tablea", "tablea.csv", func(experiments.Config) (*experiments.Table, error) {
+		return experiments.TableA()
+	}},
+	{"tableb", "tableb.csv", experiments.BaselineComparison},
+	{"ablation-vote", "ablation_vote.csv", experiments.AblationVoteAggregation},
+	{"ablation-ecc", "ablation_ecc.csv", experiments.AblationECC},
+	{"ablation-map", "ablation_map.csv", experiments.AblationEmbeddingMap},
+}
+
+func main() {
+	run := flag.String("run", "all", "comma-separated artifacts: fig4,fig5,fig6,fig7,tablea,tableb,ablation-vote,ablation-ecc,ablation-map or 'all'")
+	scale := flag.String("scale", "default", "default (20k tuples, 5 passes) | paper (141k tuples, 15 passes)")
+	outdir := flag.String("outdir", "results", "directory for CSV output")
+	passes := flag.Int("passes", 0, "override pass count (0 = scale default)")
+	n := flag.Int("n", 0, "override dataset size (0 = scale default)")
+	flag.Parse()
+
+	var cfg experiments.Config
+	switch *scale {
+	case "default":
+		cfg = experiments.DefaultConfig()
+	case "paper":
+		cfg = experiments.PaperConfig()
+	default:
+		fmt.Fprintf(os.Stderr, "wmexperiments: unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+	if *passes > 0 {
+		cfg.Passes = *passes
+	}
+	if *n > 0 {
+		cfg.N = *n
+	}
+
+	selected := map[string]bool{}
+	if *run == "all" {
+		for _, a := range artifacts {
+			selected[a.name] = true
+		}
+	} else {
+		for _, name := range strings.Split(*run, ",") {
+			selected[strings.TrimSpace(name)] = true
+		}
+	}
+
+	if err := os.MkdirAll(*outdir, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, "wmexperiments:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("configuration: N=%d, catalog=%d, |wm|=%d, passes=%d\n\n",
+		cfg.N, cfg.CatalogSize, cfg.WMBits, cfg.Passes)
+
+	ranAny := false
+	for _, a := range artifacts {
+		if !selected[a.name] {
+			continue
+		}
+		ranAny = true
+		tab, err := a.run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wmexperiments: %s: %v\n", a.name, err)
+			os.Exit(1)
+		}
+		if err := tab.Render(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "wmexperiments:", err)
+			os.Exit(1)
+		}
+		if a.name == "tablea" {
+			fmt.Println("row legend:")
+			for i := 1; i <= len(experiments.TableARowLabels); i++ {
+				fmt.Printf("  %d  %s\n", i, experiments.TableARowLabels[i])
+			}
+		}
+		fmt.Println()
+		path := filepath.Join(*outdir, a.file)
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wmexperiments:", err)
+			os.Exit(1)
+		}
+		if err := tab.WriteCSV(f); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, "wmexperiments:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "wmexperiments:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n\n", path)
+	}
+	if !ranAny {
+		fmt.Fprintln(os.Stderr, "wmexperiments: nothing selected; see -run")
+		os.Exit(2)
+	}
+}

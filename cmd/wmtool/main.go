@@ -1,0 +1,481 @@
+// Command wmtool embeds, detects, and attacks categorical watermarks in
+// CSV relations — the operational face of the library.
+//
+// Usage:
+//
+//	wmtool embed   -in data.csv -schema SPEC -attr A -wm BITS -k1 S1 -k2 S2 -e N -out marked.csv
+//	wmtool detect  -in marked.csv -schema SPEC -attr A -wmlen N -k1 S1 -k2 S2 -e N [-bandwidth B]
+//	wmtool attack  -in marked.csv -schema SPEC -type T [-frac F] [-attr A] [-seed S] -out attacked.csv
+//	wmtool analyze [-n N] [-e E] [-a A] [-p P] [-r R] [-theta T]
+//
+// SPEC is the schema grammar of internal/relation, e.g.
+// "Visit_Nbr:int!key, Item_Nbr:int:categorical". Attack types: subset,
+// addition, alteration, shuffle, sort, remap.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/attacks"
+	"repro/internal/core"
+	"repro/internal/ecc"
+	"repro/internal/keyhash"
+	"repro/internal/mark"
+	"repro/internal/relation"
+	"repro/internal/stats"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "embed":
+		err = cmdEmbed(os.Args[2:])
+	case "detect":
+		err = cmdDetect(os.Args[2:])
+	case "watermark":
+		err = cmdWatermark(os.Args[2:])
+	case "verify":
+		err = cmdVerify(os.Args[2:])
+	case "attack":
+		err = cmdAttack(os.Args[2:])
+	case "analyze":
+		err = cmdAnalyze(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "wmtool: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wmtool:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `wmtool — categorical data watermarking (Sion, ICDE 2004)
+
+commands:
+  watermark  embed and save a watermark certificate (recommended flow)
+  verify     verify a suspect CSV against a certificate
+  embed      low-level: watermark with explicit keys/parameters
+  detect     low-level: blindly recover a watermark
+  attack     apply an adversary-model attack (A1-A6)
+  analyze    Section 4.4 vulnerability mathematics
+
+run 'wmtool <command> -h' for flags`)
+}
+
+// loadDomain reads a value catalog: one value per line, blank lines
+// ignored. Detection after data-loss attacks must use the attribute's
+// catalog, not the values surviving in the data — a subset attack that
+// removes all occurrences of a value would otherwise shift every index
+// after it and scramble the parity channel.
+func loadDomain(path string) (*relation.Domain, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var values []string
+	for _, line := range strings.Split(string(data), "\n") {
+		if line = strings.TrimRight(line, "\r"); line != "" {
+			values = append(values, line)
+		}
+	}
+	return relation.NewDomain(values)
+}
+
+func loadRelation(path, spec string) (*relation.Relation, error) {
+	schema, err := relation.ParseSchemaSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return relation.ReadCSV(f, schema)
+}
+
+func saveRelation(path string, r *relation.Relation) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := relation.WriteCSV(f, r); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func cmdEmbed(args []string) error {
+	fs := flag.NewFlagSet("embed", flag.ExitOnError)
+	in := fs.String("in", "", "input CSV")
+	spec := fs.String("schema", "", "schema spec")
+	attr := fs.String("attr", "", "categorical attribute to watermark")
+	keyAttr := fs.String("key-attr", "", "key attribute (default: primary key)")
+	wmStr := fs.String("wm", "", "watermark bits, e.g. 1011001110")
+	k1 := fs.String("k1", "", "secret key 1 passphrase")
+	k2 := fs.String("k2", "", "secret key 2 passphrase")
+	e := fs.Uint64("e", 60, "fitness parameter e")
+	codeName := fs.String("code", ecc.MajorityCode{}.Name(),
+		fmt.Sprintf("error correcting code %v", ecc.Names()))
+	domainPath := fs.String("domain", "", "value catalog file for -attr (one value per line); strongly recommended — see detect")
+	out := fs.String("out", "", "output CSV")
+	fs.Parse(args)
+
+	if *in == "" || *spec == "" || *attr == "" || *wmStr == "" || *k1 == "" || *k2 == "" || *out == "" {
+		return fmt.Errorf("embed: -in, -schema, -attr, -wm, -k1, -k2, -out are required")
+	}
+	wm, err := ecc.ParseBits(*wmStr)
+	if err != nil {
+		return err
+	}
+	code, err := ecc.ByName(*codeName)
+	if err != nil {
+		return err
+	}
+	r, err := loadRelation(*in, *spec)
+	if err != nil {
+		return err
+	}
+	var dom *relation.Domain
+	if *domainPath != "" {
+		if dom, err = loadDomain(*domainPath); err != nil {
+			return err
+		}
+	}
+	opts := mark.Options{
+		KeyAttr: *keyAttr,
+		Attr:    *attr,
+		K1:      keyhash.NewKey(*k1),
+		K2:      keyhash.NewKey(*k2),
+		E:       *e,
+		Code:    code,
+		Domain:  dom,
+	}
+	st, err := mark.Embed(r, wm, opts)
+	if err != nil {
+		return err
+	}
+	if err := saveRelation(*out, r); err != nil {
+		return err
+	}
+	fmt.Printf("embedded %d-bit watermark into %s\n", len(wm), *out)
+	fmt.Printf("  tuples:            %d\n", st.Tuples)
+	fmt.Printf("  fit tuples:        %d\n", st.Fit)
+	fmt.Printf("  altered:           %d (%.2f%% of data)\n", st.Altered, st.AlterationRate()*100)
+	fmt.Printf("  bandwidth |wm_data|: %d  <- keep this for detection after data loss\n", st.Bandwidth)
+	return nil
+}
+
+func cmdDetect(args []string) error {
+	fs := flag.NewFlagSet("detect", flag.ExitOnError)
+	in := fs.String("in", "", "input CSV")
+	spec := fs.String("schema", "", "schema spec")
+	attr := fs.String("attr", "", "watermarked attribute")
+	keyAttr := fs.String("key-attr", "", "key attribute (default: primary key)")
+	wmLen := fs.Int("wmlen", 0, "watermark bit length")
+	k1 := fs.String("k1", "", "secret key 1 passphrase")
+	k2 := fs.String("k2", "", "secret key 2 passphrase")
+	e := fs.Uint64("e", 60, "fitness parameter e")
+	bw := fs.Int("bandwidth", 0, "embedding-time |wm_data| (0 = derive from data)")
+	codeName := fs.String("code", ecc.MajorityCode{}.Name(), "error correcting code")
+	domainPath := fs.String("domain", "", "value catalog file for -attr; without it the domain is derived from the (possibly attacked) data and indices may shift")
+	expect := fs.String("expect", "", "optional expected bits to score against")
+	fs.Parse(args)
+
+	if *in == "" || *spec == "" || *attr == "" || *wmLen <= 0 || *k1 == "" || *k2 == "" {
+		return fmt.Errorf("detect: -in, -schema, -attr, -wmlen, -k1, -k2 are required")
+	}
+	code, err := ecc.ByName(*codeName)
+	if err != nil {
+		return err
+	}
+	r, err := loadRelation(*in, *spec)
+	if err != nil {
+		return err
+	}
+	var dom *relation.Domain
+	if *domainPath != "" {
+		if dom, err = loadDomain(*domainPath); err != nil {
+			return err
+		}
+	}
+	opts := mark.Options{
+		KeyAttr:           *keyAttr,
+		Attr:              *attr,
+		K1:                keyhash.NewKey(*k1),
+		K2:                keyhash.NewKey(*k2),
+		E:                 *e,
+		Code:              code,
+		Domain:            dom,
+		BandwidthOverride: *bw,
+	}
+	rep, err := mark.Detect(r, *wmLen, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("detected watermark: %s\n", rep.WM)
+	fmt.Printf("  tuples examined:   %d\n", rep.Tuples)
+	fmt.Printf("  fit tuples:        %d\n", rep.Fit)
+	fmt.Printf("  positions filled:  %d / %d\n", rep.PositionsFilled, rep.Bandwidth)
+	fmt.Printf("  unknown values:    %d\n", rep.UnknownValues)
+	fmt.Printf("  mean vote margin:  %.3f\n", rep.MeanMargin)
+	fmt.Printf("  false-positive probability of a %d-bit match: %.3g\n",
+		*wmLen, analysis.FalsePositiveProb(*wmLen))
+	if *expect != "" {
+		want, err := ecc.ParseBits(*expect)
+		if err != nil {
+			return err
+		}
+		if len(want) != *wmLen {
+			return fmt.Errorf("expected bits length %d != wmlen %d", len(want), *wmLen)
+		}
+		fmt.Printf("  match vs expected: %.1f%%\n", rep.MatchFraction(want)*100)
+	}
+	return nil
+}
+
+func cmdWatermark(args []string) error {
+	fs := flag.NewFlagSet("watermark", flag.ExitOnError)
+	in := fs.String("in", "", "input CSV")
+	spec := fs.String("schema", "", "schema spec")
+	attr := fs.String("attr", "", "categorical attribute to watermark")
+	secret := fs.String("secret", "", "master watermarking secret")
+	wmStr := fs.String("wm", "", "watermark bits, e.g. 1011001110")
+	e := fs.Uint64("e", 60, "fitness parameter e")
+	domainPath := fs.String("domain", "", "value catalog file (one value per line); default: derived from data and stored in the record")
+	withFreq := fs.Bool("frequency-channel", false, "additionally embed into the occurrence histogram (survives extreme vertical partitions)")
+	maxAlter := fs.Float64("max-alteration", 0, "quality budget: maximum fraction of tuples altered (0 = unlimited)")
+	out := fs.String("out", "", "output CSV")
+	recordPath := fs.String("record", "", "output watermark certificate (JSON, secret!)")
+	fs.Parse(args)
+
+	if *in == "" || *spec == "" || *attr == "" || *secret == "" || *wmStr == "" || *out == "" || *recordPath == "" {
+		return fmt.Errorf("watermark: -in, -schema, -attr, -secret, -wm, -out, -record are required")
+	}
+	r, err := loadRelation(*in, *spec)
+	if err != nil {
+		return err
+	}
+	var dom *relation.Domain
+	if *domainPath != "" {
+		if dom, err = loadDomain(*domainPath); err != nil {
+			return err
+		}
+	}
+	rec, st, err := core.Watermark(r, core.Spec{
+		Secret:                *secret,
+		Attribute:             *attr,
+		WM:                    *wmStr,
+		E:                     *e,
+		Domain:                dom,
+		WithFrequencyChannel:  *withFreq,
+		MaxAlterationFraction: *maxAlter,
+	})
+	if err != nil {
+		return err
+	}
+	if err := saveRelation(*out, r); err != nil {
+		return err
+	}
+	data, err := rec.Save()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*recordPath, data, 0o600); err != nil {
+		return err
+	}
+	fmt.Printf("watermarked %s (%d tuples)\n", *out, r.Len())
+	fmt.Printf("  key channel: %d fit, %d altered (%.2f%% of data)\n",
+		st.Mark.Fit, st.Mark.Altered, st.Mark.AlterationRate()*100)
+	if *withFreq {
+		fmt.Printf("  frequency channel: %d tuples moved\n", st.FrequencyMoved)
+	}
+	fmt.Printf("  certificate written to %s — keep it secret, it proves ownership\n", *recordPath)
+	return nil
+}
+
+func cmdVerify(args []string) error {
+	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	in := fs.String("in", "", "suspect CSV")
+	spec := fs.String("schema", "", "schema spec")
+	recordPath := fs.String("record", "", "watermark certificate (JSON)")
+	fs.Parse(args)
+
+	if *in == "" || *spec == "" || *recordPath == "" {
+		return fmt.Errorf("verify: -in, -schema, -record are required")
+	}
+	data, err := os.ReadFile(*recordPath)
+	if err != nil {
+		return err
+	}
+	rec, err := core.LoadRecord(data)
+	if err != nil {
+		return err
+	}
+	suspect, err := loadRelation(*in, *spec)
+	if err != nil {
+		return err
+	}
+	rep, err := rec.Verify(suspect)
+	if err != nil {
+		return err
+	}
+	wmLen := len(rec.WM)
+	fmt.Printf("verification of %s against %s\n", *in, *recordPath)
+	fmt.Printf("  claimed watermark:  %s\n", rec.WM)
+	fmt.Printf("  detected watermark: %s\n", rep.Detected)
+	fmt.Printf("  bit agreement:      %.1f%%\n", rep.Match*100)
+	if rep.RemapRecovered {
+		fmt.Println("  note: values were bijectively remapped; inverse mapping")
+		fmt.Println("  recovered from the registered frequency profile (Section 4.5)")
+	}
+	if rep.FrequencyMatch >= 0 {
+		fmt.Printf("  frequency channel:  %.1f%% agreement\n", rep.FrequencyMatch*100)
+	}
+	fmt.Printf("  chance of a full %d-bit match on unmarked data: %.3g\n",
+		wmLen, analysis.FalsePositiveProb(wmLen))
+	if rep.Match >= 0.9 {
+		fmt.Println("verdict: WATERMARK PRESENT")
+	} else if rep.Match >= 0.7 {
+		fmt.Println("verdict: partial match — data heavily attacked or partly unrelated")
+	} else {
+		fmt.Println("verdict: no watermark evidence")
+	}
+	return nil
+}
+
+func cmdAttack(args []string) error {
+	fs := flag.NewFlagSet("attack", flag.ExitOnError)
+	in := fs.String("in", "", "input CSV")
+	spec := fs.String("schema", "", "schema spec")
+	typ := fs.String("type", "", "attack: subset | addition | alteration | shuffle | sort | remap")
+	frac := fs.Float64("frac", 0.5, "attack fraction (meaning depends on type)")
+	attr := fs.String("attr", "", "target attribute (alteration/sort/remap)")
+	seed := fs.String("seed", "wmtool-attack", "attack randomness seed")
+	out := fs.String("out", "", "output CSV")
+	fs.Parse(args)
+
+	if *in == "" || *spec == "" || *typ == "" || *out == "" {
+		return fmt.Errorf("attack: -in, -schema, -type, -out are required")
+	}
+	r, err := loadRelation(*in, *spec)
+	if err != nil {
+		return err
+	}
+	src := stats.NewSource(*seed)
+	var attacked *relation.Relation
+	switch *typ {
+	case "subset":
+		attacked, err = attacks.HorizontalSubset(r, 1-*frac, src)
+		if err == nil {
+			fmt.Printf("A1: dropped %.0f%% of tuples (%d -> %d)\n", *frac*100, r.Len(), attacked.Len())
+		}
+	case "addition":
+		attacked, err = attacks.SubsetAddition(r, *frac, src)
+		if err == nil {
+			fmt.Printf("A2: added %d tuples\n", attacked.Len()-r.Len())
+		}
+	case "alteration":
+		if *attr == "" {
+			return fmt.Errorf("attack alteration: -attr required")
+		}
+		attacked, err = attacks.SubsetAlteration(r, *attr, *frac, nil, src)
+		if err == nil {
+			fmt.Printf("A3: randomly altered %.0f%% of %s values\n", *frac*100, *attr)
+		}
+	case "shuffle":
+		attacked = attacks.Resort(r, src)
+		fmt.Println("A4: tuples shuffled")
+	case "sort":
+		if *attr == "" {
+			return fmt.Errorf("attack sort: -attr required")
+		}
+		attacked, err = attacks.SortByAttr(r, *attr)
+		if err == nil {
+			fmt.Printf("A4: sorted by %s\n", *attr)
+		}
+	case "remap":
+		if *attr == "" {
+			return fmt.Errorf("attack remap: -attr required")
+		}
+		var forward map[string]string
+		attacked, forward, err = attacks.BijectiveRemap(r, *attr, src)
+		if err == nil {
+			fmt.Printf("A6: remapped %d distinct %s values bijectively\n", len(forward), *attr)
+		}
+	default:
+		return fmt.Errorf("attack: unknown type %q", *typ)
+	}
+	if err != nil {
+		return err
+	}
+	return saveRelation(*out, attacked)
+}
+
+func cmdAnalyze(args []string) error {
+	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
+	n := fs.Int("n", 6000, "relation size N")
+	e := fs.Uint64("e", 60, "fitness parameter e")
+	a := fs.Int("a", 1200, "attack size (tuples altered)")
+	p := fs.Float64("p", 0.7, "per-marked-tuple flip success rate")
+	r := fs.Int("r", 15, "wm_data flips counted as attacker success")
+	theta := fs.Float64("theta", 0.10, "tolerable attack success probability")
+	wmLen := fs.Int("wmlen", 10, "watermark bits")
+	nA := fs.Int("na", 1000, "categorical domain size n_A for capacity analysis")
+	fs.Parse(args)
+
+	fmt.Printf("Section 4.4 vulnerability analysis (N=%d, e=%d, a=%d, p=%.2f, r=%d)\n",
+		*n, *e, *a, *p, *r)
+	fmt.Printf("  false positive, |wm| bits:        %.3g\n", analysis.FalsePositiveProb(*wmLen))
+	fmt.Printf("  false positive, full bandwidth:   %.3g\n", analysis.FalsePositiveProbFullBandwidth(*n, *e))
+
+	m := analysis.AttackModel{N: *n, E: *e, A: *a, P: *p, R: *r}
+	exact, err := analysis.AttackSuccessExact(m)
+	if err != nil {
+		return err
+	}
+	normal, cltOK, err := analysis.AttackSuccessNormal(m)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  marked tuples attacked (a/e):     %d\n", m.MarkedAttacked())
+	fmt.Printf("  P(r,a) exact binomial:            %.4f\n", exact)
+	fmt.Printf("  P(r,a) normal approx (eq. 2):     %.4f  (CLT applies: %v)\n", normal, cltOK)
+	fmt.Printf("  expected final mark damage:       %.2f%%\n",
+		analysis.ExpectedMarkAlteration(*r, *n, *e, 0.05, *wmLen, int(uint64(*n) / *e))*100)
+
+	eStar, err := analysis.MinimumE(*a, *p, *theta, *r)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  minimum e for P <= %.0f%%:           %d\n", *theta*100, eStar)
+	fmt.Printf("  implied alteration budget (N/e*): %.2f%% of data\n",
+		analysis.AlterationBudget(*n, eStar)*100)
+
+	// Section 2.4 / 3.1 channel capacities at this configuration.
+	cap, err := analysis.Capacity(*n, *e, *nA, float64(*a)/float64(*n), *theta)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("channel capacities (n_A=%d):\n", *nA)
+	fmt.Printf("  direct-domain entropy:            %.1f bits (rejected by the paper)\n", cap.DirectDomainBits)
+	fmt.Printf("  key-association bandwidth (N/e):  %d bits\n", cap.AssociationBits)
+	fmt.Printf("  robust watermark capacity:        %d bits (per-bit error <= %.0f%% under this attack)\n",
+		cap.RobustBits, *theta*100)
+	fmt.Printf("  frequency-histogram channel:      %d bits\n", cap.FrequencyBits)
+	return nil
+}

@@ -1,0 +1,98 @@
+// Courtroom walks through an ownership dispute — the use case the paper is
+// built for. Alice watermarks her catalog data and licenses it; Mallory
+// resells a doctored copy (subset + re-sort + random rewrites). In court,
+// Alice's keys recover her watermark from Mallory's copy; the Section 4.4
+// mathematics quantifies how improbable that is by chance, and a control
+// experiment with random keys shows detection is not a fishing expedition.
+//
+//	go run ./examples/courtroom
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/analysis"
+	"repro/internal/attacks"
+	"repro/internal/datagen"
+	"repro/internal/ecc"
+	"repro/internal/keyhash"
+	"repro/internal/mark"
+	"repro/internal/stats"
+)
+
+func main() {
+	fmt.Println("=== 1. Alice publishes watermarked data =========================")
+	r, catalog, err := datagen.ItemScan(datagen.ItemScanConfig{
+		N: 30000, CatalogSize: 800, ZipfS: 1.0, Seed: "alice-catalog",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	wm := ecc.MustParseBits("1100101001")
+	opts := mark.Options{
+		Attr:   "Item_Nbr",
+		K1:     keyhash.NewKey("alice-k1-do-not-share"),
+		K2:     keyhash.NewKey("alice-k2-do-not-share"),
+		E:      50,
+		Domain: catalog,
+	}
+	st, err := mark.Embed(r, wm, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Alice embeds %q, altering %.2f%% of %d tuples; records (k1, k2, e=%d, |wm_data|=%d)\n\n",
+		wm, st.AlterationRate()*100, r.Len(), opts.E, st.Bandwidth)
+
+	fmt.Println("=== 2. Mallory launders a stolen copy ===========================")
+	src := stats.NewSource("mallory")
+	stolen, err := attacks.HorizontalSubset(r, 0.6, src.Fork("subset"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	stolen, err = attacks.SubsetAlteration(stolen, "Item_Nbr", 0.15, catalog, src.Fork("alter"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	stolen = attacks.Resort(stolen, src.Fork("shuffle"))
+	fmt.Printf("Mallory keeps 60%% of the tuples, rewrites 15%% of item numbers, shuffles rows (%d tuples)\n\n",
+		stolen.Len())
+
+	fmt.Println("=== 3. The court runs Alice's detector ==========================")
+	detOpts := opts
+	detOpts.BandwidthOverride = st.Bandwidth
+	rep, err := mark.Detect(stolen, len(wm), detOpts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("recovered: %q\n", rep.WM)
+	fmt.Printf("claimed:   %q\n", wm)
+	fmt.Printf("agreement: %.0f%% of bits, mean vote margin %.2f\n\n",
+		rep.MatchFraction(wm)*100, rep.MeanMargin)
+
+	fmt.Println("=== 4. How likely is that by chance? (Section 4.4) ==============")
+	fmt.Printf("probability a random dataset matches all %d bits: %.3g\n",
+		len(wm), analysis.FalsePositiveProb(len(wm)))
+	fmt.Printf("with every one of the %d bandwidth positions agreeing: %.3g\n",
+		st.Bandwidth, analysis.FalsePositiveProbFullBandwidth(r.Len(), opts.E))
+	fmt.Println("the one-way hash forecloses Mallory's counter-claim that Alice")
+	fmt.Println("searched for keys post-hoc: finding (k1,k2) to fit given data is")
+	fmt.Println("computationally infeasible (Section 2.2)")
+
+	fmt.Println("\n=== 5. Control: random keys find nothing ========================")
+	matches := 0.0
+	const controls = 10
+	for i := 0; i < controls; i++ {
+		ctrl := detOpts
+		ctrl.K1 = keyhash.NewKey(fmt.Sprintf("random-claimant-%d-k1", i))
+		ctrl.K2 = keyhash.NewKey(fmt.Sprintf("random-claimant-%d-k2", i))
+		crep, err := mark.Detect(stolen, len(wm), ctrl)
+		if err != nil {
+			log.Fatal(err)
+		}
+		matches += crep.MatchFraction(wm)
+	}
+	fmt.Printf("mean bit agreement across %d random key pairs: %.0f%% (coin flips)\n",
+		controls, matches/controls*100)
+	fmt.Println("\nverdict: the watermark is Alice's, beyond reasonable doubt.")
+}

@@ -1,0 +1,116 @@
+// Salesdata reproduces the paper's Section 5 scenario end to end: generate
+// the Wal-Mart ItemScan stand-in, watermark Item_Nbr, run the full attack
+// gauntlet (A1-A4, A6), and report detection quality after each attack.
+//
+//	go run ./examples/salesdata [-n 141000]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/attacks"
+	"repro/internal/datagen"
+	"repro/internal/ecc"
+	"repro/internal/freq"
+	"repro/internal/keyhash"
+	"repro/internal/mark"
+	"repro/internal/relation"
+	"repro/internal/stats"
+)
+
+func main() {
+	n := flag.Int("n", 20000, "dataset size (paper: 141000)")
+	flag.Parse()
+
+	// The paper's test relation: Visit_Nbr INTEGER PRIMARY KEY,
+	// Item_Nbr INTEGER — synthetic stand-in, see DESIGN.md.
+	r, catalog, err := datagen.ItemScan(datagen.ItemScanConfig{
+		N: *n, CatalogSize: 1000, ZipfS: 1.0, Seed: "salesdata-example",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("generated ItemScan stand-in: %d tuples, %d-item catalog\n\n",
+		r.Len(), catalog.Size())
+
+	wm := ecc.MustParseBits("1011001110") // the paper's 10-bit mark size
+	opts := mark.Options{
+		Attr:   "Item_Nbr",
+		K1:     keyhash.NewKey("walmart-owner-k1"),
+		K2:     keyhash.NewKey("walmart-owner-k2"),
+		E:      65, // the paper's Figure 4 headline setting
+		Domain: catalog,
+	}
+	st, err := mark.Embed(r, wm, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bw := st.Bandwidth
+	fmt.Printf("watermarked: %d fit tuples, %d altered (%.2f%% of data), bandwidth %d\n\n",
+		st.Fit, st.Altered, st.AlterationRate()*100, bw)
+
+	// Keep the registered frequency profile for A6 recovery.
+	profile, err := freq.ProfileOf(r, "Item_Nbr")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	detect := func(name string, attacked *relation.Relation) {
+		detOpts := opts
+		detOpts.BandwidthOverride = bw
+		rep, err := mark.Detect(attacked, len(wm), detOpts)
+		if err != nil {
+			fmt.Printf("%-28s detection error: %v\n", name, err)
+			return
+		}
+		fmt.Printf("%-28s match %5.1f%%  (fit %5d, filled %4d/%d, margin %.2f)\n",
+			name, rep.MatchFraction(wm)*100, rep.Fit, rep.PositionsFilled,
+			rep.Bandwidth, rep.MeanMargin)
+	}
+
+	src := stats.NewSource("salesdata-attacks")
+	detect("no attack:", r)
+
+	for _, loss := range []float64{0.2, 0.5, 0.8} {
+		a, err := attacks.HorizontalSubset(r, 1-loss, src.Fork(fmt.Sprintf("a1-%.0f", loss*100)))
+		if err != nil {
+			log.Fatal(err)
+		}
+		detect(fmt.Sprintf("A1 %.0f%% data loss:", loss*100), a)
+	}
+
+	a2, err := attacks.SubsetAddition(r, 0.5, src.Fork("a2"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	detect("A2 +50% forged tuples:", a2)
+
+	for _, frac := range []float64{0.2, 0.5} {
+		a, err := attacks.SubsetAlteration(r, "Item_Nbr", frac, catalog, src.Fork(fmt.Sprintf("a3-%.0f", frac*100)))
+		if err != nil {
+			log.Fatal(err)
+		}
+		detect(fmt.Sprintf("A3 %.0f%% random rewrites:", frac*100), a)
+	}
+
+	detect("A4 shuffled:", attacks.Resort(r, src.Fork("a4")))
+
+	// A6: bijective remapping, then frequency-profile recovery (§4.5).
+	remapped, _, err := attacks.BijectiveRemap(r, "Item_Nbr", src.Fork("a6"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	detect("A6 remapped (no recovery):", remapped)
+	inverse, err := freq.RecoverMapping(remapped, "Item_Nbr", profile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := freq.ApplyMapping(remapped, "Item_Nbr", inverse); err != nil {
+		log.Fatal(err)
+	}
+	detect("A6 remapped + recovery:", remapped)
+
+	fmt.Println("\nthe paper's headline: up to 80% data loss costs only ~25% of the mark.")
+}

@@ -1,0 +1,241 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// The paper's worked example: N=6000, e=60 ⇒ (1/2)^100 ≈ 7.8·10⁻³¹.
+func TestFalsePositivePaperExample(t *testing.T) {
+	got := FalsePositiveProbFullBandwidth(6000, 60)
+	want := 7.8886e-31 // 2^-100
+	if math.Abs(got-want)/want > 1e-3 {
+		t.Fatalf("(1/2)^100 = %g, want ≈ %g", got, want)
+	}
+}
+
+func TestFalsePositiveProb(t *testing.T) {
+	if got := FalsePositiveProb(10); math.Abs(got-1.0/1024) > 1e-12 {
+		t.Fatalf("(1/2)^10 = %v", got)
+	}
+	if FalsePositiveProb(0) != 1 || FalsePositiveProb(-1) != 1 {
+		t.Fatal("degenerate wm lengths should give probability 1")
+	}
+	if FalsePositiveProbFullBandwidth(0, 60) != 1 || FalsePositiveProbFullBandwidth(100, 0) != 1 {
+		t.Fatal("degenerate inputs should give probability 1")
+	}
+}
+
+// The paper's Table A2 scenario: r=15, p=0.7, a=1200 (20% of 6000), e=60.
+// Marked tuples attacked: a/e = 20. The paper's normal-table lookup gives
+// P ≈ 31.6%; the approximation computed with full precision gives ≈ 31.3%.
+func TestAttackSuccessPaperScenario(t *testing.T) {
+	m := AttackModel{N: 6000, E: 60, A: 1200, P: 0.7, R: 15}
+	if got := m.MarkedAttacked(); got != 20 {
+		t.Fatalf("a/e = %d, want 20", got)
+	}
+	normal, cltOK, err := AttackSuccessNormal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cltOK {
+		t.Fatal("CLT condition should hold: (a/e)p = 14, (a/e)(1-p) = 6")
+	}
+	if math.Abs(normal-0.316) > 0.02 {
+		t.Fatalf("normal approx = %v, paper says ≈ 0.316", normal)
+	}
+	exact, err := AttackSuccessExact(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exact binomial tail P[X≥15], X~B(20,0.7) ≈ 0.4164. The gap to the
+	// normal approximation is the continuity correction the paper skips.
+	if math.Abs(exact-0.4164) > 5e-3 {
+		t.Fatalf("exact P(r,a) = %v, want ≈ 0.4164", exact)
+	}
+}
+
+func TestAttackSuccessZeroWhenRTooLarge(t *testing.T) {
+	// r > a/e ⇒ P(r,a) = 0, as the paper states.
+	m := AttackModel{N: 6000, E: 60, A: 600, P: 0.9, R: 15} // a/e = 10 < 15
+	exact, err := AttackSuccessExact(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact != 0 {
+		t.Fatalf("P = %v, want 0 when r > a/e", exact)
+	}
+	normal, _, err := AttackSuccessNormal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if normal != 0 {
+		t.Fatalf("normal P = %v, want 0", normal)
+	}
+}
+
+func TestAttackModelValidation(t *testing.T) {
+	bad := []AttackModel{
+		{N: 0, E: 60, A: 10, P: 0.5, R: 1},
+		{N: 100, E: 0, A: 10, P: 0.5, R: 1},
+		{N: 100, E: 10, A: -1, P: 0.5, R: 1},
+		{N: 100, E: 10, A: 200, P: 0.5, R: 1},
+		{N: 100, E: 10, A: 10, P: 1.5, R: 1},
+	}
+	for i, m := range bad {
+		if _, err := AttackSuccessExact(m); err == nil {
+			t.Errorf("model %d accepted", i)
+		}
+	}
+}
+
+// Exact and normal forms must agree within a few percent whenever the
+// paper's CLT condition holds.
+func TestExactVsNormalAgreement(t *testing.T) {
+	for _, m := range []AttackModel{
+		{N: 60000, E: 60, A: 12000, P: 0.7, R: 150}, // a/e = 200
+		{N: 60000, E: 30, A: 6000, P: 0.5, R: 110},  // a/e = 200
+		{N: 6000, E: 20, A: 3000, P: 0.6, R: 95},    // a/e = 150
+	} {
+		exact, err := AttackSuccessExact(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		normal, cltOK, err := AttackSuccessNormal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !cltOK {
+			continue
+		}
+		if math.Abs(exact-normal) > 0.05 {
+			t.Errorf("%+v: exact %v vs normal %v", m, exact, normal)
+		}
+	}
+}
+
+// The paper's final-damage example: r=15 flips over |wm_data|=100 with 5%
+// ECC tolerance and a 10-bit mark ⇒ 1.0% expected final alteration.
+func TestExpectedMarkAlterationPaperExample(t *testing.T) {
+	got := ExpectedMarkAlteration(15, 6000, 60, 0.05, 10, 100)
+	if math.Abs(got-0.01) > 1e-9 {
+		t.Fatalf("expected alteration %v, paper says 1.0%%", got)
+	}
+}
+
+func TestExpectedMarkAlterationClamp(t *testing.T) {
+	// ECC absorbs everything: damage clamps at 0.
+	if got := ExpectedMarkAlteration(3, 6000, 60, 0.05, 10, 100); got != 0 {
+		t.Fatalf("clamped alteration %v, want 0", got)
+	}
+	if got := ExpectedMarkAlteration(15, 0, 60, 0.05, 10, 100); got != 0 {
+		t.Fatal("degenerate N should give 0")
+	}
+}
+
+// The paper's Table A3 scenario: a=600 (10% of N=6000), θ=10%, r=15,
+// p=0.7. Solving equation (2) yields e ≥ 34 (the paper prints "e ≤ 23" and
+// 4.3% alteration; see the MinimumE doc comment). Verify the solver's e*
+// actually achieves the bound and that e*−1 does not.
+func TestMinimumEPaperScenario(t *testing.T) {
+	eStar, err := MinimumE(600, 0.7, 0.10, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eStar < 30 || eStar > 38 {
+		t.Fatalf("e* = %d, want ≈ 34", eStar)
+	}
+	check := func(e uint64) float64 {
+		p, _, err := AttackSuccessNormal(AttackModel{N: 6000, E: e, A: 600, P: 0.7, R: 15})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	if p := check(eStar); p > 0.10+1e-6 {
+		t.Fatalf("P at e* = %v exceeds θ", p)
+	}
+	if eStar > 1 {
+		// One step looser on alterations (smaller e = more marked tuples
+		// attacked = higher success probability) must violate the bound —
+		// the integer a/e granularity can make a few adjacent e values
+		// equivalent, so scan down until the probability changes.
+		for e := eStar - 1; e >= eStar-3 && e > 0; e-- {
+			if p := check(e); p > 0.10 {
+				return // bound violated below e*, as expected
+			}
+		}
+		t.Fatalf("bound not tight near e* = %d", eStar)
+	}
+}
+
+// The resulting alteration budget for the Table A3 scenario:
+// N/e* of 6000 ≈ 2.9%, the "alter only a few percent" conclusion.
+func TestMinimumEAlterationBudget(t *testing.T) {
+	eStar, err := MinimumE(600, 0.7, 0.10, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget := AlterationBudget(6000, eStar)
+	if budget > 0.05 {
+		t.Fatalf("alteration budget %v, want a few percent", budget)
+	}
+	if budget <= 0 {
+		t.Fatal("budget should be positive")
+	}
+}
+
+func TestMinimumEValidation(t *testing.T) {
+	cases := []struct {
+		a     int
+		p     float64
+		theta float64
+		r     int
+	}{
+		{0, 0.7, 0.1, 15},
+		{600, 0, 0.1, 15},
+		{600, 1, 0.1, 15},
+		{600, 0.7, 0, 15},
+		{600, 0.7, 1, 15},
+		{600, 0.7, 0.1, 0},
+	}
+	for i, c := range cases {
+		if _, err := MinimumE(c.a, c.p, c.theta, c.r); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+// Monte-Carlo simulation must agree with the exact binomial tail.
+func TestSimulationMatchesExact(t *testing.T) {
+	m := AttackModel{N: 6000, E: 60, A: 1200, P: 0.7, R: 15}
+	exact, err := AttackSuccessExact(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := SimulateAttackSuccess(m, 20000, stats.NewSource("sim"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sim-exact) > 0.02 {
+		t.Fatalf("simulated %v vs exact %v", sim, exact)
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	m := AttackModel{N: 100, E: 10, A: 50, P: 0.5, R: 2}
+	if _, err := SimulateAttackSuccess(m, 0, stats.NewSource("s")); err == nil {
+		t.Error("zero trials accepted")
+	}
+}
+
+func TestAlterationBudgetDegenerate(t *testing.T) {
+	if AlterationBudget(0, 10) != 0 || AlterationBudget(100, 0) != 0 {
+		t.Fatal("degenerate budgets should be 0")
+	}
+	if got := AlterationBudget(6000, 60); math.Abs(got-100.0/6000) > 1e-12 {
+		t.Fatalf("budget = %v", got)
+	}
+}

@@ -1,0 +1,60 @@
+package analysis_test
+
+import (
+	"fmt"
+
+	"repro/internal/analysis"
+)
+
+// The paper's Section 4.4 worked example: a 20% random-alteration attack
+// (a=1200 of N=6000 tuples) against a mark embedded at e=60 reaches only
+// a/e = 20 marked tuples; the probability of flipping at least r=15
+// embedded bits at success rate p=0.7 follows equation (1).
+func ExampleAttackSuccessExact() {
+	m := analysis.AttackModel{N: 6000, E: 60, A: 1200, P: 0.7, R: 15}
+	p, err := analysis.AttackSuccessExact(m)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("marked tuples attacked: %d\n", m.MarkedAttacked())
+	fmt.Printf("P(r,a) = %.3f\n", p)
+	// Output:
+	// marked tuples attacked: 20
+	// P(r,a) = 0.416
+}
+
+// Choosing e from a vulnerability bound (Section 4.4): if Mallory can
+// afford to alter at most 10% of a 6000-tuple relation, what is the
+// cheapest embedding that keeps the attack success below 10%?
+func ExampleMinimumE() {
+	eStar, err := analysis.MinimumE(600, 0.7, 0.10, 15)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("e* = %d, alter %.1f%% of the data\n",
+		eStar, analysis.AlterationBudget(6000, eStar)*100)
+	// Output:
+	// e* = 34, alter 2.9% of the data
+}
+
+// Court-time false positives (Section 4.4): the chance of a random data
+// set exhibiting all N/e embedded bits.
+func ExampleFalsePositiveProbFullBandwidth() {
+	fmt.Printf("%.1e\n", analysis.FalsePositiveProbFullBandwidth(6000, 60))
+	// Output:
+	// 7.9e-31
+}
+
+// Channel capacities (Sections 2.4, 3.1): the association channel dwarfs
+// the direct-domain entropy the paper rejects.
+func ExampleCapacity() {
+	rep, err := analysis.Capacity(20000, 65, 16000, 0.5, 0.05)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("direct domain: %.0f bits\n", rep.DirectDomainBits)
+	fmt.Printf("association:   %d bits\n", rep.AssociationBits)
+	// Output:
+	// direct domain: 14 bits
+	// association:   307 bits
+}

@@ -1,0 +1,150 @@
+package attacks
+
+import (
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/ecc"
+	"repro/internal/keyhash"
+	"repro/internal/mark"
+	"repro/internal/relation"
+)
+
+func additiveSetup(t *testing.T) (orig *relation.Relation, dom *relation.Domain) {
+	t.Helper()
+	r, d, err := datagen.ItemScan(datagen.ItemScanConfig{
+		N: 12000, CatalogSize: 300, ZipfS: 1.0, Seed: "additive",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, d
+}
+
+func claimOpts(who string, dom *relation.Domain) mark.Options {
+	return mark.Options{
+		Attr:   "Item_Nbr",
+		K1:     keyhash.NewKey(who + "-k1"),
+		K2:     keyhash.NewKey(who + "-k2"),
+		E:      40,
+		Domain: dom,
+	}
+}
+
+func TestAdditiveWatermarkBothMarksDetectable(t *testing.T) {
+	orig, dom := additiveSetup(t)
+
+	// Alice embeds and publishes.
+	aliceWM := ecc.MustParseBits("1011001110")
+	aliceOpts := claimOpts("alice", dom)
+	published := orig.Clone()
+	if _, err := mark.Embed(published, aliceWM, aliceOpts); err != nil {
+		t.Fatal(err)
+	}
+
+	// Mallory steals and over-marks.
+	malloryWM := ecc.MustParseBits("0100110001")
+	malloryOpts := claimOpts("mallory", dom)
+	disputed, st, err := AdditiveWatermark(published, malloryWM, malloryOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Altered == 0 {
+		t.Fatal("additive attack embedded nothing")
+	}
+	// Attack must not mutate its input.
+	repIn, err := mark.Detect(published, len(malloryWM), malloryOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repIn.MatchFraction(malloryWM) > 0.9 {
+		t.Fatal("attack mutated the input relation")
+	}
+
+	// Both marks verify on the disputed copy — the §6 problem.
+	repA, err := mark.Detect(disputed, len(aliceWM), aliceOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repM, err := mark.Detect(disputed, len(malloryWM), malloryOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repA.MatchFraction(aliceWM) < 0.9 {
+		t.Fatalf("Alice's mark destroyed by over-marking: %v", repA.MatchFraction(aliceWM))
+	}
+	if repM.MatchFraction(malloryWM) < 0.99 {
+		t.Fatalf("Mallory's own mark weak: %v", repM.MatchFraction(malloryWM))
+	}
+}
+
+func TestResolveDisputeFindsTrueOwner(t *testing.T) {
+	orig, dom := additiveSetup(t)
+
+	aliceWM := ecc.MustParseBits("1011001110")
+	aliceOpts := claimOpts("alice", dom)
+	aliceOriginal := orig.Clone() // what Alice can present: pre-publication
+	published := orig.Clone()
+	if _, err := mark.Embed(published, aliceWM, aliceOpts); err != nil {
+		t.Fatal(err)
+	}
+
+	malloryWM := ecc.MustParseBits("0100110001")
+	malloryOpts := claimOpts("mallory", dom)
+	disputed, _, err := AdditiveWatermark(published, malloryWM, malloryOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mallory's best possible "original" is the published copy he stole
+	// (pre-his-own-mark) — it already carries Alice's watermark.
+	malloryOriginal := published
+
+	verdict, err := ResolveDispute(disputed,
+		DisputeClaim{Name: "alice", WM: aliceWM, Opts: aliceOpts, Original: aliceOriginal},
+		DisputeClaim{Name: "mallory", WM: malloryWM, Opts: malloryOpts, Original: malloryOriginal},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if verdict.AOnDisputed < 0.9 || verdict.BOnDisputed < 0.9 {
+		t.Fatalf("both marks should fire on the disputed copy: %+v", verdict)
+	}
+	if verdict.AOnBOriginal < 0.9 {
+		t.Fatalf("Alice's mark should fire on Mallory's original: %v", verdict.AOnBOriginal)
+	}
+	if verdict.BOnAOriginal > 0.85 {
+		t.Fatalf("Mallory's mark should NOT fire on Alice's original: %v", verdict.BOnAOriginal)
+	}
+	if verdict.Winner != "alice" {
+		t.Fatalf("winner %q, want alice", verdict.Winner)
+	}
+}
+
+func TestResolveDisputeSymmetricEvidence(t *testing.T) {
+	// Two honest parties marking unrelated datasets: neither cross-detects;
+	// the protocol must refuse to pick a winner on the unrelated copy.
+	origA, dom := additiveSetup(t)
+	origB, _, err := datagen.ItemScan(datagen.ItemScanConfig{
+		N: 12000, CatalogSize: 300, ZipfS: 1.0, Seed: "additive-other",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aWM := ecc.MustParseBits("1011001110")
+	bWM := ecc.MustParseBits("0100110001")
+	aOpts, bOpts := claimOpts("pa", dom), claimOpts("pb", dom)
+	markedA := origA.Clone()
+	if _, err := mark.Embed(markedA, aWM, aOpts); err != nil {
+		t.Fatal(err)
+	}
+	verdict, err := ResolveDispute(markedA,
+		DisputeClaim{Name: "pa", WM: aWM, Opts: aOpts, Original: origA},
+		DisputeClaim{Name: "pb", WM: bWM, Opts: bOpts, Original: origB},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if verdict.Winner != "" {
+		t.Fatalf("winner %q on symmetric evidence, want none", verdict.Winner)
+	}
+}

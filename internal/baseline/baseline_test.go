@@ -1,0 +1,234 @@
+package baseline
+
+import (
+	"strconv"
+	"testing"
+
+	"repro/internal/attacks"
+	"repro/internal/datagen"
+	"repro/internal/keyhash"
+	"repro/internal/relation"
+	"repro/internal/stats"
+)
+
+func kaData(t *testing.T, n int) (*relation.Relation, *relation.Domain) {
+	t.Helper()
+	r, dom, err := datagen.ItemScan(datagen.ItemScanConfig{
+		N: n, CatalogSize: 500, ZipfS: 1.0, Seed: "ka-test",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, dom
+}
+
+func kaOpts() KAOptions {
+	return KAOptions{
+		Attr:  "Item_Nbr",
+		Key:   keyhash.NewKey("ka-secret"),
+		Gamma: 20,
+		Xi:    2,
+	}
+}
+
+func TestKAEmbedDetect(t *testing.T) {
+	r, _ := kaData(t, 10000)
+	o := kaOpts()
+	st, err := KAEmbed(r, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := float64(r.Len()) / float64(o.Gamma)
+	if f := float64(st.Marked); f < want*0.7 || f > want*1.3 {
+		t.Fatalf("marked %d, want ~%.0f", st.Marked, want)
+	}
+	rep, err := KADetect(r, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Detected {
+		t.Fatalf("watermark not detected: %+v", rep)
+	}
+	if rep.MatchRate() != 1 {
+		t.Fatalf("match rate %v on intact data", rep.MatchRate())
+	}
+	if rep.PValue > 1e-20 {
+		t.Fatalf("p-value %g too weak for full agreement", rep.PValue)
+	}
+}
+
+func TestKAUnmarkedDataNotDetected(t *testing.T) {
+	r, _ := kaData(t, 10000)
+	rep, err := KADetect(r, kaOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Detected {
+		t.Fatalf("false positive on unmarked data: %+v", rep)
+	}
+	if rate := rep.MatchRate(); rate < 0.35 || rate > 0.65 {
+		t.Fatalf("unmarked match rate %v, want ≈ 0.5", rate)
+	}
+}
+
+func TestKAWrongKeyNotDetected(t *testing.T) {
+	r, _ := kaData(t, 10000)
+	o := kaOpts()
+	if _, err := KAEmbed(r, o); err != nil {
+		t.Fatal(err)
+	}
+	wrong := o
+	wrong.Key = keyhash.NewKey("guess")
+	rep, err := KADetect(r, wrong)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Detected {
+		t.Fatalf("wrong key detected a mark: %+v", rep)
+	}
+}
+
+func TestKASurvivesSubsetSelection(t *testing.T) {
+	r, _ := kaData(t, 20000)
+	o := kaOpts()
+	if _, err := KAEmbed(r, o); err != nil {
+		t.Fatal(err)
+	}
+	sub, err := attacks.HorizontalSubset(r, 0.3, stats.NewSource("ka-subset"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := KADetect(sub, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Detected {
+		t.Fatalf("KA lost the mark at 70%% loss: %+v", rep)
+	}
+}
+
+// The categorical paper's core argument: LSB marking of categorical codes
+// walks off the valid catalog.
+func TestKADomainViolations(t *testing.T) {
+	r, dom := kaData(t, 20000)
+	o := kaOpts()
+	before, err := DomainViolations(r, "Item_Nbr", dom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before != 0 {
+		t.Fatalf("%d violations before marking", before)
+	}
+	st, err := KAEmbed(r, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := DomainViolations(r, "Item_Nbr", dom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The catalog is a dense integer range (10000..10499), so flipping
+	// LSB 0/1 usually stays *numerically* close but can exit the range at
+	// the edges; more importantly, with sparse real-world code spaces most
+	// flips exit. Simulate sparsity: every changed value that is not in
+	// the catalog counts. With a dense catalog the violation count is
+	// small; verify the accounting matches a manual recount, then verify
+	// the sparse-catalog case below.
+	manual := 0
+	for i := 0; i < r.Len(); i++ {
+		v, _ := r.Value(i, "Item_Nbr")
+		if !dom.Contains(v) {
+			manual++
+		}
+	}
+	if after != manual {
+		t.Fatalf("DomainViolations %d != manual %d", after, manual)
+	}
+	_ = st
+
+	// Sparse catalog: only even item codes are valid (like real product
+	// code spaces with checksum digits). Build data on the sparse catalog
+	// and mark it: every LSB-0 flip to 1 leaves the catalog.
+	sparseVals := make([]string, 250)
+	for k := range sparseVals {
+		sparseVals[k] = strconv.Itoa(20000 + 2*k)
+	}
+	sparse := relation.MustDomain(sparseVals)
+	s := relation.New(datagen.ItemScanSchema())
+	src := stats.NewSource("sparse")
+	for i := 0; i < 20000; i++ {
+		s.MustAppend(relation.Tuple{strconv.Itoa(i), sparseVals[src.Intn(len(sparseVals))]})
+	}
+	st2, err := KAEmbed(s, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viol, err := DomainViolations(s, "Item_Nbr", sparse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Roughly half the marked tuples get their LSB set to 1 → invalid.
+	if viol < st2.Marked/4 {
+		t.Fatalf("sparse catalog: only %d violations from %d marked tuples", viol, st2.Marked)
+	}
+}
+
+func TestKAValidation(t *testing.T) {
+	r, _ := kaData(t, 100)
+	bad := []KAOptions{
+		{Attr: "Item_Nbr", Key: nil, Gamma: 10, Xi: 2},
+		{Attr: "Item_Nbr", Key: keyhash.NewKey("k"), Gamma: 0, Xi: 2},
+		{Attr: "Item_Nbr", Key: keyhash.NewKey("k"), Gamma: 10, Xi: 0},
+		{Attr: "Item_Nbr", Key: keyhash.NewKey("k"), Gamma: 10, Xi: 17},
+		{Attr: "ghost", Key: keyhash.NewKey("k"), Gamma: 10, Xi: 2},
+	}
+	for i, o := range bad {
+		if _, err := KAEmbed(r.Clone(), o); err == nil {
+			t.Errorf("options %d accepted by embed", i)
+		}
+		if _, err := KADetect(r, o); err == nil {
+			t.Errorf("options %d accepted by detect", i)
+		}
+	}
+}
+
+func TestKANonNumericSkipped(t *testing.T) {
+	s := relation.MustSchema([]relation.Attribute{
+		{Name: "k", Type: relation.TypeInt},
+		{Name: "v", Type: relation.TypeString},
+	}, "k")
+	r := relation.New(s)
+	for i := 0; i < 1000; i++ {
+		r.MustAppend(relation.Tuple{strconv.Itoa(i), "not-a-number"})
+	}
+	o := KAOptions{Attr: "v", Key: keyhash.NewKey("k"), Gamma: 10, Xi: 2}
+	st, err := KAEmbed(r, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Marked != 0 || st.NonNumeric == 0 {
+		t.Fatalf("non-numeric handling wrong: %+v", st)
+	}
+}
+
+func TestKAFalsePositiveRate(t *testing.T) {
+	// Across many keys on unmarked data, detections at α=0.01 should be
+	// rare (≈1%).
+	r, _ := kaData(t, 5000)
+	detections := 0
+	const trials = 60
+	for i := 0; i < trials; i++ {
+		o := kaOpts()
+		o.Key = keyhash.NewKey("fp-" + strconv.Itoa(i))
+		rep, err := KADetect(r, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Detected {
+			detections++
+		}
+	}
+	if detections > 4 {
+		t.Fatalf("%d of %d random keys detected a mark at α=0.01", detections, trials)
+	}
+}

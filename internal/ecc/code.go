@@ -1,0 +1,244 @@
+package ecc
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Code is an error-correcting code over watermark bits. Encode expands a
+// |wm|-bit watermark into an outLen-bit wm_data string; Decode recovers the
+// most likely watermark from a (possibly corrupted, possibly partially
+// erased) wm_data.
+type Code interface {
+	// Name identifies the code in reports and benchmarks.
+	Name() string
+	// Encode returns wm_data = encode(wm, outLen). outLen must be at least
+	// len(wm); the watermark must contain no erasures.
+	Encode(wm Bits, outLen int) (Bits, error)
+	// Decode returns the most likely wm of length wmLen from data.
+	Decode(data Bits, wmLen int) (Bits, error)
+}
+
+// Common argument validation shared by the codes.
+func checkEncodeArgs(wm Bits, outLen int) error {
+	if len(wm) == 0 {
+		return errors.New("ecc: empty watermark")
+	}
+	if outLen < len(wm) {
+		return fmt.Errorf("ecc: bandwidth %d smaller than watermark %d bits "+
+			"(insufficient embedding bandwidth, decrease e or shorten wm)",
+			outLen, len(wm))
+	}
+	for i, b := range wm {
+		if b != Zero && b != One {
+			return fmt.Errorf("ecc: watermark bit %d is not 0/1", i)
+		}
+	}
+	return nil
+}
+
+func checkDecodeArgs(data Bits, wmLen int) error {
+	if wmLen <= 0 {
+		return errors.New("ecc: non-positive watermark length")
+	}
+	if len(data) < wmLen {
+		return fmt.Errorf("ecc: data %d bits shorter than watermark %d bits",
+			len(data), wmLen)
+	}
+	return data.Validate()
+}
+
+// MajorityCode is the paper's majority-voting code in an interleaved
+// layout: wm_data position i carries watermark bit i mod |wm|, so each
+// watermark bit is replicated ~outLen/|wm| times and the replicas are
+// spread evenly across the embedding bandwidth. Decoding majority-votes
+// each watermark bit over its replica positions, skipping erasures; ties
+// and all-erased groups resolve to the DefaultBit.
+type MajorityCode struct {
+	// DefaultBit breaks ties and fills all-erased groups. Zero by default.
+	DefaultBit uint8
+}
+
+// Name implements Code.
+func (MajorityCode) Name() string { return "majority-interleaved" }
+
+// Encode implements Code.
+func (MajorityCode) Encode(wm Bits, outLen int) (Bits, error) {
+	if err := checkEncodeArgs(wm, outLen); err != nil {
+		return nil, err
+	}
+	out := make(Bits, outLen)
+	for i := range out {
+		out[i] = wm[i%len(wm)]
+	}
+	return out, nil
+}
+
+// Decode implements Code.
+func (c MajorityCode) Decode(data Bits, wmLen int) (Bits, error) {
+	if err := checkDecodeArgs(data, wmLen); err != nil {
+		return nil, err
+	}
+	votes := c.Votes(data, wmLen)
+	out := make(Bits, wmLen)
+	for i, v := range votes {
+		out[i] = v.Winner(c.DefaultBit)
+	}
+	return out, nil
+}
+
+// Votes tallies per-watermark-bit replica votes; exported so detection
+// reports can show confidence margins (used by the courtroom example).
+func (MajorityCode) Votes(data Bits, wmLen int) []VoteTally {
+	votes := make([]VoteTally, wmLen)
+	for i, b := range data {
+		switch b {
+		case Zero:
+			votes[i%wmLen].Zeros++
+		case One:
+			votes[i%wmLen].Ones++
+		default:
+			votes[i%wmLen].Erasures++
+		}
+	}
+	return votes
+}
+
+// BlockMajorityCode is the majority-voting code in a blocked layout:
+// wm_data is divided into |wm| contiguous blocks and block i carries
+// watermark bit i. Provided as an ablation — contiguous layouts are more
+// fragile under clustered loss, which the ablation bench demonstrates.
+type BlockMajorityCode struct {
+	DefaultBit uint8
+}
+
+// Name implements Code.
+func (BlockMajorityCode) Name() string { return "majority-blocked" }
+
+// Encode implements Code.
+func (BlockMajorityCode) Encode(wm Bits, outLen int) (Bits, error) {
+	if err := checkEncodeArgs(wm, outLen); err != nil {
+		return nil, err
+	}
+	out := make(Bits, outLen)
+	for i := range out {
+		bit := i * len(wm) / outLen
+		out[i] = wm[bit]
+	}
+	return out, nil
+}
+
+// Decode implements Code.
+func (c BlockMajorityCode) Decode(data Bits, wmLen int) (Bits, error) {
+	if err := checkDecodeArgs(data, wmLen); err != nil {
+		return nil, err
+	}
+	votes := make([]VoteTally, wmLen)
+	for i, b := range data {
+		g := i * wmLen / len(data)
+		switch b {
+		case Zero:
+			votes[g].Zeros++
+		case One:
+			votes[g].Ones++
+		default:
+			votes[g].Erasures++
+		}
+	}
+	out := make(Bits, wmLen)
+	for i, v := range votes {
+		out[i] = v.Winner(c.DefaultBit)
+	}
+	return out, nil
+}
+
+// IdentityCode performs no redundancy: wm_data is wm truncated/padded to
+// outLen with repetition disabled — only the first |wm| positions carry
+// information and the rest are zero filler. It exists to quantify, in the
+// ablation benches, how much resilience the majority code buys.
+type IdentityCode struct{}
+
+// Name implements Code.
+func (IdentityCode) Name() string { return "identity" }
+
+// Encode implements Code.
+func (IdentityCode) Encode(wm Bits, outLen int) (Bits, error) {
+	if err := checkEncodeArgs(wm, outLen); err != nil {
+		return nil, err
+	}
+	out := make(Bits, outLen)
+	copy(out, wm)
+	return out, nil
+}
+
+// Decode implements Code.
+func (IdentityCode) Decode(data Bits, wmLen int) (Bits, error) {
+	if err := checkDecodeArgs(data, wmLen); err != nil {
+		return nil, err
+	}
+	out := make(Bits, wmLen)
+	for i := 0; i < wmLen; i++ {
+		if data[i] == Erased {
+			out[i] = Zero
+		} else {
+			out[i] = data[i]
+		}
+	}
+	return out, nil
+}
+
+// VoteTally is the per-bit vote count produced during majority decoding.
+type VoteTally struct {
+	Zeros, Ones, Erasures int
+}
+
+// Winner returns the majority bit, or def on ties / all-erasure.
+func (v VoteTally) Winner(def uint8) uint8 {
+	switch {
+	case v.Ones > v.Zeros:
+		return One
+	case v.Zeros > v.Ones:
+		return Zero
+	default:
+		return def
+	}
+}
+
+// Margin returns |ones − zeros| / (ones + zeros): the strength of the
+// majority, 1 = unanimous, 0 = tie. Returns 0 when no votes were cast.
+func (v VoteTally) Margin() float64 {
+	total := v.Ones + v.Zeros
+	if total == 0 {
+		return 0
+	}
+	d := v.Ones - v.Zeros
+	if d < 0 {
+		d = -d
+	}
+	return float64(d) / float64(total)
+}
+
+// Registry of codes by name, used by the CLI flags.
+var registry = map[string]Code{
+	MajorityCode{}.Name():      MajorityCode{},
+	BlockMajorityCode{}.Name(): BlockMajorityCode{},
+	IdentityCode{}.Name():      IdentityCode{},
+}
+
+// ByName returns a registered code.
+func ByName(name string) (Code, error) {
+	c, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("ecc: unknown code %q", name)
+	}
+	return c, nil
+}
+
+// Names lists the registered code names.
+func Names() []string {
+	return []string{
+		MajorityCode{}.Name(),
+		BlockMajorityCode{}.Name(),
+		IdentityCode{}.Name(),
+	}
+}

@@ -1,0 +1,157 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/attacks"
+	"repro/internal/ecc"
+	"repro/internal/mark"
+	"repro/internal/relation"
+	"repro/internal/stats"
+)
+
+// Ablation benchmarks for the design choices documented in DESIGN.md.
+// Each returns a Table comparing variants along the attack-size axis.
+
+// markAlterationVariant is markAlteration with an options mutator, letting
+// ablations swap aggregation policies, codes, or the whole codec.
+func (c Config) markAlterationVariant(base *relation.Relation, dom *relation.Domain,
+	e uint64, attack attackFunc, mutate func(*mark.Options)) (float64, error) {
+	total := 0.0
+	for pass := 0; pass < c.Passes; pass++ {
+		wm := c.passWM(pass)
+		opts := c.passOptions(pass, e, dom)
+		if mutate != nil {
+			mutate(&opts)
+		}
+		r := base.Clone()
+		if _, err := mark.Embed(r, wm, opts); err != nil {
+			return 0, err
+		}
+		bw := mark.Bandwidth(r.Len(), e)
+		attackSrc := stats.NewSource(fmt.Sprintf("%s/attack/%d", c.Seed, pass))
+		attacked, err := attack(r, dom, attackSrc)
+		if err != nil {
+			return 0, err
+		}
+		detOpts := opts
+		detOpts.BandwidthOverride = bw
+		rep, err := mark.Detect(attacked, c.WMBits, detOpts)
+		if err != nil {
+			return 0, err
+		}
+		total += ecc.AlterationRate(wm, rep.WM) * 100
+	}
+	return total / float64(c.Passes), nil
+}
+
+// AblationVoteAggregation contrasts majority voting against the paper's
+// literal last-write-wins position aggregation (DESIGN.md clarification 3)
+// under A3 alteration attacks.
+func AblationVoteAggregation(cfg Config) (*Table, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	base, dom, err := cfg.dataset()
+	if err != nil {
+		return nil, err
+	}
+	e := cfg.EPair[0]
+	t := NewTable(
+		"Ablation — detection vote aggregation (majority vs last-write-wins)",
+		"attack_size_pct", "majority_alteration_pct", "lastwrite_alteration_pct",
+	)
+	for _, size := range cfg.AttackSizes {
+		maj, err := cfg.markAlterationVariant(base, dom, e, alterationAttack(size), nil)
+		if err != nil {
+			return nil, err
+		}
+		lww, err := cfg.markAlterationVariant(base, dom, e, alterationAttack(size),
+			func(o *mark.Options) { o.Aggregation = mark.LastWriteWins })
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(size*100, maj, lww)
+	}
+	return t, nil
+}
+
+// AblationECC contrasts the three registered codes under A3 alteration
+// attacks, quantifying what majority voting buys over no redundancy and
+// what interleaving buys over blocking.
+func AblationECC(cfg Config) (*Table, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	base, dom, err := cfg.dataset()
+	if err != nil {
+		return nil, err
+	}
+	e := cfg.EPair[0]
+	codes := []ecc.Code{ecc.MajorityCode{}, ecc.BlockMajorityCode{}, ecc.IdentityCode{}}
+	t := NewTable(
+		"Ablation — error correcting code under A3 attacks",
+		"attack_size_pct", "majority_interleaved_pct", "majority_blocked_pct", "identity_pct",
+	)
+	for _, size := range cfg.AttackSizes {
+		row := []float64{size * 100}
+		for _, code := range codes {
+			code := code
+			v, err := cfg.markAlterationVariant(base, dom, e, alterationAttack(size),
+				func(o *mark.Options) { o.Code = code })
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, v)
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// AblationEmbeddingMap contrasts the blind k2-hash position selection
+// (Figure 1(a)) against the stored embedding map (Figure 1(b)) under A1
+// data-loss attacks.
+func AblationEmbeddingMap(cfg Config) (*Table, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	base, dom, err := cfg.dataset()
+	if err != nil {
+		return nil, err
+	}
+	e := cfg.E7
+	t := NewTable(
+		"Ablation — blind (k2 hash) vs embedding-map position bookkeeping under A1 data loss",
+		"data_loss_pct", "blind_alteration_pct", "map_alteration_pct",
+	)
+	for _, loss := range cfg.LossSizes {
+		blind, err := cfg.markAlterationVariant(base, dom, e, lossAttack(loss), nil)
+		if err != nil {
+			return nil, err
+		}
+
+		mapTotal := 0.0
+		for pass := 0; pass < cfg.Passes; pass++ {
+			wm := cfg.passWM(pass)
+			opts := cfg.passOptions(pass, e, dom)
+			r := base.Clone()
+			em, _, err := mark.EmbedWithMap(r, wm, opts)
+			if err != nil {
+				return nil, err
+			}
+			attackSrc := stats.NewSource(fmt.Sprintf("%s/attack/%d", cfg.Seed, pass))
+			attacked, err := attacks.HorizontalSubset(r, 1-loss, attackSrc)
+			if err != nil {
+				return nil, err
+			}
+			rep, err := mark.DetectWithMap(attacked, cfg.WMBits, em, opts)
+			if err != nil {
+				return nil, err
+			}
+			mapTotal += ecc.AlterationRate(wm, rep.WM) * 100
+		}
+		t.AddRow(loss*100, blind, mapTotal/float64(cfg.Passes))
+	}
+	return t, nil
+}

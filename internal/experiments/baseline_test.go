@@ -1,0 +1,57 @@
+package experiments
+
+import "testing"
+
+func TestBaselineComparison(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Passes = 2
+	tab, err := BaselineComparison(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 schemes × 2 catalogs.
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows %d, want 4", len(tab.Rows))
+	}
+	byKey := map[[2]int][]float64{}
+	for _, row := range tab.Rows {
+		byKey[[2]int{int(row[0]), int(row[1])}] = row
+	}
+	const (
+		colDistortion = 2
+		colViolation  = 3
+		colClean      = 4
+		colAUCLoss    = 5
+	)
+	// The categorical scheme (scheme 0) never violates the domain.
+	for catalog := 0; catalog <= 1; catalog++ {
+		row := byKey[[2]int{0, catalog}]
+		if row[colViolation] != 0 {
+			t.Errorf("categorical scheme violated domain on catalog %d: %v%%",
+				catalog, row[colViolation])
+		}
+		if row[colClean] < 1 {
+			t.Errorf("categorical clean score %v", row[colClean])
+		}
+		// The tiny config has ~9 replicas per bit, so the 80% loss level
+		// can starve bits; 3 of 4 levels surviving is the expected floor.
+		if row[colAUCLoss] < 0.7 {
+			t.Errorf("categorical AUC under loss %v", row[colAUCLoss])
+		}
+	}
+	// The KA baseline on the sparse catalog leaves the domain at a rate
+	// comparable to its marking rate (~1/e of tuples, half of which flip
+	// to an odd, invalid code).
+	kaSparse := byKey[[2]int{1, 1}]
+	if kaSparse[colViolation] <= 0 {
+		t.Error("KA baseline produced no violations on the sparse catalog")
+	}
+	if kaSparse[colViolation] < kaSparse[colDistortion]*0.2 {
+		t.Errorf("KA sparse violations %v%% implausibly low vs distortion %v%%",
+			kaSparse[colViolation], kaSparse[colDistortion])
+	}
+	// Both schemes carry a detectable mark cleanly.
+	if byKey[[2]int{1, 0}][colClean] < 0.99 {
+		t.Errorf("KA clean score %v", byKey[[2]int{1, 0}][colClean])
+	}
+}

@@ -1,0 +1,32 @@
+package keyhash
+
+import (
+	"strconv"
+	"testing"
+)
+
+func BenchmarkHashString(b *testing.B) {
+	k := NewKey("bench")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = HashString(k, "500123")
+	}
+}
+
+func BenchmarkFitKey(b *testing.B) {
+	k := NewKey("bench")
+	keys := make([]string, 1024)
+	for i := range keys {
+		keys[i] = strconv.Itoa(500000 + i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = FitKey(k, keys[i&1023], 65)
+	}
+}
+
+func BenchmarkPairIndex(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = PairIndex(uint64(i)*2654435761, 1000, uint64(i)&1)
+	}
+}

@@ -1,0 +1,86 @@
+package keyhash
+
+// This file implements the bit-level notation of Section 2.1:
+//
+//	b(X)          — number of bits required to represent X
+//	msb(X, b)     — the most significant b bits of X, left-padded with
+//	                zeroes when b(X) < b
+//	set_bit(d,a,v)— d with bit position a set to value v
+//
+// These are used verbatim by the embedding algorithm of Figure 1 and are
+// exercised directly by the notation tests.
+
+// BitLen returns b(X), the number of bits required to represent x.
+// By the paper's convention b(0) = 0 (zero needs no bits; callers left-pad).
+func BitLen(x uint64) int {
+	n := 0
+	for x != 0 {
+		n++
+		x >>= 1
+	}
+	return n
+}
+
+// MSB returns msb(X, b): the most significant b bits of x's minimal binary
+// representation. When b(x) < b the result is x itself, i.e. the
+// representation left-padded with (b - b(x)) zero bits, exactly as defined
+// in Section 2.1. b must be in [0, 64].
+func MSB(x uint64, b int) uint64 {
+	if b < 0 || b > 64 {
+		panic("keyhash: msb width out of range [0,64]")
+	}
+	if b == 0 {
+		return 0
+	}
+	n := BitLen(x)
+	if n <= b {
+		return x
+	}
+	return x >> uint(n-b)
+}
+
+// SetBit returns set_bit(d, a, v): d with bit position a (0 = least
+// significant) forced to v. v must be 0 or 1.
+func SetBit(d uint64, a int, v uint64) uint64 {
+	if a < 0 || a > 63 {
+		panic("keyhash: bit position out of range [0,63]")
+	}
+	if v > 1 {
+		panic("keyhash: bit value must be 0 or 1")
+	}
+	mask := uint64(1) << uint(a)
+	if v == 1 {
+		return d | mask
+	}
+	return d &^ mask
+}
+
+// Bit returns bit position a of d (0 = least significant).
+func Bit(d uint64, a int) uint64 {
+	if a < 0 || a > 63 {
+		panic("keyhash: bit position out of range [0,63]")
+	}
+	return (d >> uint(a)) & 1
+}
+
+// PairIndex maps a pseudorandom draw onto a categorical value index t in
+// [0, n) whose least significant bit equals bit. This realises the paper's
+//
+//	t = set_bit(msb(H(T(K);k1), b(n_A)), 0, wm_bit)
+//
+// while guaranteeing t < n for every n ≥ 2 (the raw construct can overflow
+// the value set when n is not a power of two — see DESIGN.md, clarification
+// 1). Values are organised as ⌊n/2⌋ (even, odd) pairs; the draw picks the
+// pair uniformly and bit picks the side, so the decode invariant
+// bit == t & 1 always holds.
+func PairIndex(draw uint64, n int, bit uint64) int {
+	if n < 2 {
+		panic("keyhash: PairIndex requires a domain of at least 2 values")
+	}
+	if bit > 1 {
+		panic("keyhash: bit value must be 0 or 1")
+	}
+	pairs := uint64(n / 2)
+	t := 2*(draw%pairs) + bit
+	return int(t)
+}

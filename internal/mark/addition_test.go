@@ -1,0 +1,212 @@
+package mark
+
+import (
+	"strconv"
+	"testing"
+
+	"repro/internal/ecc"
+	"repro/internal/keyhash"
+	"repro/internal/relation"
+)
+
+func TestAddTuplesCarryWatermark(t *testing.T) {
+	r, dom := testData(t, 6000)
+	opts := testOptions(dom)
+	wm := ecc.MustParseBits("1011001110")
+	if _, err := Embed(r, wm, opts); err != nil {
+		t.Fatal(err)
+	}
+	bw := Bandwidth(r.Len(), opts.E)
+
+	addOpts := opts
+	addOpts.BandwidthOverride = bw
+	st, err := AddTuples(r, wm, 200, SequentialKeys(5_000_000), "add-test", addOpts, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Added != 200 {
+		t.Fatalf("added %d, want 200", st.Added)
+	}
+	// Rejection sampling should try ≈ e per hit (plus non-fit skips).
+	if st.CandidatesTried < 200 || st.CandidatesTried > 200*int(opts.E)*10 {
+		t.Fatalf("candidates tried %d implausible for e=%d", st.CandidatesTried, opts.E)
+	}
+	// Every added tuple is fit and parity-correct.
+	wmData, _ := ecc.MajorityCode{}.Encode(wm, bw)
+	for i := r.Len() - 200; i < r.Len(); i++ {
+		key := r.Key(i)
+		if !keyhash.FitKey(opts.K1, key, opts.E) {
+			t.Fatalf("added tuple %d not fit", i)
+		}
+		v, _ := r.Value(i, "Item_Nbr")
+		idx, ok := dom.Index(v)
+		if !ok {
+			t.Fatalf("added tuple value %q outside domain", v)
+		}
+		pos := int(keyhash.HashString(opts.K2, key).Mod(uint64(bw)))
+		if uint8(idx&1) != wmData[pos] {
+			t.Fatalf("added tuple %d parity mismatch", i)
+		}
+	}
+	// Detection on the enlarged relation still recovers the watermark.
+	detOpts := opts
+	detOpts.BandwidthOverride = bw
+	rep, err := Detect(r, len(wm), detOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.WM.String() != wm.String() {
+		t.Fatalf("post-addition detection: %s vs %s", wm, rep.WM)
+	}
+}
+
+func TestAddTuplesReinforcesAgainstLoss(t *testing.T) {
+	// Section 4.6: p_add·N extra bits strengthen the mark. Verify added
+	// tuples vote correctly by detecting on the added tuples alone.
+	r, dom := testData(t, 6000)
+	opts := testOptions(dom)
+	wm := ecc.MustParseBits("10110011")
+	if _, err := Embed(r, wm, opts); err != nil {
+		t.Fatal(err)
+	}
+	bw := Bandwidth(r.Len(), opts.E)
+	n0 := r.Len()
+	addOpts := opts
+	addOpts.BandwidthOverride = bw
+	if _, err := AddTuples(r, wm, 300, SequentialKeys(7_000_000), "reinforce", addOpts, 0); err != nil {
+		t.Fatal(err)
+	}
+	onlyAdded := r.Filter(func(i int, _ relation.Tuple) bool { return i >= n0 })
+	detOpts := opts
+	detOpts.BandwidthOverride = bw
+	rep, err := Detect(onlyAdded, len(wm), detOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MatchFraction(wm) < 0.85 {
+		t.Fatalf("added-only detection match %v", rep.MatchFraction(wm))
+	}
+}
+
+func TestAddTuplesZero(t *testing.T) {
+	r, dom := testData(t, 2000)
+	opts := testOptions(dom)
+	st, err := AddTuples(r, ecc.MustParseBits("1010"), 0, SequentialKeys(1), "z", opts, 0)
+	if err != nil || st.Added != 0 {
+		t.Fatalf("zero addition: %+v, %v", st, err)
+	}
+}
+
+func TestAddTuplesErrors(t *testing.T) {
+	r, dom := testData(t, 2000)
+	opts := testOptions(dom)
+	if _, err := AddTuples(r, ecc.MustParseBits("1010"), -1, SequentialKeys(1), "n", opts, 0); err == nil {
+		t.Error("negative count accepted")
+	}
+	if _, err := AddTuples(r, ecc.Bits{}, 5, SequentialKeys(1), "n", opts, 0); err == nil {
+		t.Error("empty wm accepted")
+	}
+	// Exhausted attempts: a minter that always collides.
+	stuck := func(int) string { return r.Key(0) }
+	if _, err := AddTuples(r, ecc.MustParseBits("1010"), 5, stuck, "n", opts, 50); err == nil {
+		t.Error("stuck minter did not error")
+	}
+}
+
+func TestSequentialKeys(t *testing.T) {
+	m := SequentialKeys(100)
+	if m(0) != "100" || m(5) != "105" {
+		t.Fatalf("minter output %s, %s", m(0), m(5))
+	}
+}
+
+func TestInsertWatermarkedFitTuple(t *testing.T) {
+	r, dom := testData(t, 6000)
+	opts := testOptions(dom)
+	wm := ecc.MustParseBits("1011001110")
+	if _, err := Embed(r, wm, opts); err != nil {
+		t.Fatal(err)
+	}
+	bw := Bandwidth(r.Len(), opts.E)
+	insOpts := opts
+	insOpts.BandwidthOverride = bw
+
+	// Find a fit key not in the relation.
+	var fitKey, unfitKey string
+	for i := 0; fitKey == "" || unfitKey == ""; i++ {
+		k := strconv.Itoa(8_000_000 + i)
+		if keyhash.FitKey(opts.K1, k, opts.E) {
+			if fitKey == "" {
+				fitKey = k
+			}
+		} else if unfitKey == "" {
+			unfitKey = k
+		}
+	}
+
+	marked, err := InsertWatermarked(r, relation.Tuple{fitKey, dom.Value(0)}, wm, insOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !marked {
+		t.Fatal("fit tuple not marked")
+	}
+	// Inserted fit tuple carries the right parity.
+	i, _ := r.Lookup(fitKey)
+	v, _ := r.Value(i, "Item_Nbr")
+	idx, _ := dom.Index(v)
+	wmData, _ := ecc.MajorityCode{}.Encode(wm, bw)
+	pos := int(keyhash.HashString(opts.K2, fitKey).Mod(uint64(bw)))
+	if uint8(idx&1) != wmData[pos] {
+		t.Fatal("inserted tuple parity mismatch")
+	}
+
+	marked, err = InsertWatermarked(r, relation.Tuple{unfitKey, dom.Value(3)}, wm, insOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if marked {
+		t.Fatal("unfit tuple reported as marked")
+	}
+	j, _ := r.Lookup(unfitKey)
+	if v, _ := r.Value(j, "Item_Nbr"); v != dom.Value(3) {
+		t.Fatal("unfit tuple's value was rewritten")
+	}
+}
+
+func TestInsertWatermarkedArityError(t *testing.T) {
+	r, dom := testData(t, 2000)
+	opts := testOptions(dom)
+	if _, err := InsertWatermarked(r, relation.Tuple{"1"}, ecc.MustParseBits("1010"), opts); err == nil {
+		t.Fatal("bad arity accepted")
+	}
+}
+
+// End-to-end incremental scenario: watermark, then stream inserts through
+// InsertWatermarked; detection still recovers the mark.
+func TestIncrementalUpdatesPreserveMark(t *testing.T) {
+	r, dom := testData(t, 6000)
+	opts := testOptions(dom)
+	wm := ecc.MustParseBits("1011001110")
+	if _, err := Embed(r, wm, opts); err != nil {
+		t.Fatal(err)
+	}
+	bw := Bandwidth(r.Len(), opts.E)
+	insOpts := opts
+	insOpts.BandwidthOverride = bw
+	for i := 0; i < 1000; i++ {
+		tuple := relation.Tuple{strconv.Itoa(6_500_000 + i), dom.Value(i % dom.Size())}
+		if _, err := InsertWatermarked(r, tuple, wm, insOpts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	detOpts := opts
+	detOpts.BandwidthOverride = bw
+	rep, err := Detect(r, len(wm), detOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.WM.String() != wm.String() {
+		t.Fatalf("incremental inserts broke the mark: %s vs %s", wm, rep.WM)
+	}
+}

@@ -1,0 +1,126 @@
+package mark
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/ecc"
+	"repro/internal/keyhash"
+	"repro/internal/relation"
+)
+
+// DetectReport is the outcome of a blind detection pass (Figure 2(a)).
+type DetectReport struct {
+	// WM is the recovered watermark.
+	WM ecc.Bits
+	// Tuples is the number of tuples examined.
+	Tuples int
+	// Fit is the number of tuples passing the fitness criterion.
+	Fit int
+	// UnknownValues counts fit tuples whose attribute value was outside
+	// the domain (noise, or an un-reversed remapping attack, Section 4.5);
+	// they cast no vote.
+	UnknownValues int
+	// Bandwidth is |wm_data| = N/e used for position arithmetic.
+	Bandwidth int
+	// PositionsFilled is the number of wm_data positions that received at
+	// least one vote; the rest decode as erasures.
+	PositionsFilled int
+	// MeanMargin is the average majority margin over filled positions
+	// (1 = unanimous votes everywhere, 0 = coin flips). A crude
+	// detection-confidence signal for the courtroom scenario.
+	MeanMargin float64
+}
+
+// MatchFraction returns the fraction of bits of want that the recovered
+// watermark reproduces; 1.0 is a perfect match. Panics on length mismatch.
+func (d DetectReport) MatchFraction(want ecc.Bits) float64 {
+	return 1 - ecc.AlterationRate(want, d.WM)
+}
+
+// Detect blindly recovers a wmLen-bit watermark from r per Figure 2(a):
+// it re-derives the fit set and bit positions from the keys, reads each
+// fit tuple's value-index parity as a vote, aggregates votes per position
+// (majority by default), and ECC-decodes the resulting wm_data.
+//
+// Detection never needs the original relation — only the keys, e, the
+// code, and the attribute's value domain.
+func Detect(r *relation.Relation, wmLen int, opts Options) (DetectReport, error) {
+	var rep DetectReport
+	keyCol, attrCol, dom, err := opts.resolve(r, true)
+	if err != nil {
+		return rep, err
+	}
+	if wmLen <= 0 {
+		return rep, errors.New("mark: non-positive watermark length")
+	}
+	n := r.Len()
+	bw := opts.bandwidth(n)
+	if bw < wmLen {
+		return rep, fmt.Errorf("%w: |wm|=%d, N/e=%d (N=%d, e=%d)",
+			ErrInsufficientBandwidth, wmLen, bw, n, opts.E)
+	}
+
+	rep.Tuples = n
+	rep.Bandwidth = bw
+	votes := make([]ecc.VoteTally, bw)
+	last := make([]uint8, bw) // for LastWriteWins
+	for i := range last {
+		last[i] = ecc.Erased
+	}
+
+	for j := 0; j < n; j++ {
+		t := r.Tuple(j)
+		keyVal := t[keyCol]
+		d1 := keyhash.HashString(opts.K1, keyVal)
+		if !keyhash.Fit(d1, opts.E) {
+			continue
+		}
+		rep.Fit++
+		idx, ok := dom.Index(t[attrCol])
+		if !ok {
+			rep.UnknownValues++
+			continue
+		}
+		pos := int(keyhash.HashString(opts.K2, keyVal).Mod(uint64(bw)))
+		bit := uint8(idx & 1)
+		if bit == ecc.One {
+			votes[pos].Ones++
+		} else {
+			votes[pos].Zeros++
+		}
+		last[pos] = bit
+	}
+
+	wmData := make(ecc.Bits, bw)
+	marginSum := 0.0
+	for i := range wmData {
+		switch opts.Aggregation {
+		case LastWriteWins:
+			wmData[i] = last[i]
+		default:
+			if votes[i].Ones == 0 && votes[i].Zeros == 0 {
+				wmData[i] = ecc.Erased
+			} else {
+				wmData[i] = votes[i].Winner(ecc.Zero)
+			}
+		}
+		if wmData[i] != ecc.Erased {
+			rep.PositionsFilled++
+			marginSum += votes[i].Margin()
+		}
+		if wmData[i] == ecc.Erased && opts.ZeroUnfilled {
+			wmData[i] = ecc.Zero // paper-literal zero-initialised wm_data
+		}
+	}
+	if rep.PositionsFilled > 0 {
+		rep.MeanMargin = marginSum / float64(rep.PositionsFilled)
+	}
+
+	wm, err := opts.code().Decode(wmData, wmLen)
+	if err != nil {
+		return rep, err
+	}
+	rep.WM = wm
+	return rep, nil
+}

@@ -1,0 +1,172 @@
+package multimark
+
+import (
+	"strconv"
+	"testing"
+
+	"repro/internal/ecc"
+	"repro/internal/relation"
+	"repro/internal/stats"
+)
+
+// threeCatRelation builds a schema with three categorical attributes of
+// different cardinalities, to exercise the full pair closure.
+func threeCatRelation(t *testing.T, n int) (*relation.Relation, Config) {
+	t.Helper()
+	s := relation.MustSchema([]relation.Attribute{
+		{Name: "id", Type: relation.TypeInt},
+		{Name: "store", Type: relation.TypeString, Categorical: true},   // 600 values
+		{Name: "product", Type: relation.TypeString, Categorical: true}, // 300 values
+		{Name: "channel", Type: relation.TypeString, Categorical: true}, // 4 values
+	}, "id")
+	src := stats.NewSource("closure-3cat")
+	stores := make([]string, 600)
+	for i := range stores {
+		stores[i] = "S" + strconv.Itoa(i)
+	}
+	products := make([]string, 300)
+	for i := range products {
+		products[i] = "P" + strconv.Itoa(i)
+	}
+	channels := []string{"web", "app", "phone", "store"}
+	r := relation.New(s)
+	for i := 0; i < n; i++ {
+		r.MustAppend(relation.Tuple{
+			strconv.Itoa(i),
+			stores[src.Intn(len(stores))],
+			products[src.Intn(len(products))],
+			channels[src.Intn(len(channels))],
+		})
+	}
+	cfg := Config{
+		Secret: "closure-secret",
+		E:      20,
+		Domains: map[string]*relation.Domain{
+			"store":   relation.MustDomain(stores),
+			"product": relation.MustDomain(products),
+			"channel": relation.MustDomain(channels),
+		},
+	}
+	return r, cfg
+}
+
+func TestClosureThreeCategoricalAttributes(t *testing.T) {
+	r, cfg := threeCatRelation(t, 20000)
+	plan, err := BuildPlan(r, cfg, PlanOptions{IncludeInterAttribute: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 PK pairs + 3 inter-attribute pairs (all three combinations are
+	// orientable: channel can never be the key, store/product can).
+	if len(plan) != 6 {
+		t.Fatalf("plan %v, want 6 pairs", plan)
+	}
+	// The low-cardinality channel attribute must never hold the key role.
+	interCount := 0
+	for _, p := range plan {
+		if p.KeyAttr == "channel" {
+			t.Fatalf("4-value attribute used as key: %s", p)
+		}
+		if p.KeyAttr != "id" {
+			interCount++
+		}
+	}
+	if interCount != 3 {
+		t.Fatalf("%d inter-attribute pairs, want 3", interCount)
+	}
+
+	// Full embed + detect through all six channels.
+	wm := ecc.MustParseBits("101100")
+	rec, st, err := EmbedAll(r, wm, plan, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ledger skips must appear: later passes revisit earlier passes' rows.
+	totalSkips := 0
+	for _, ps := range st {
+		totalSkips += ps.Stats.SkippedLedger
+	}
+	if totalSkips == 0 {
+		t.Log("note: no ledger overlaps in this configuration")
+	}
+	comb, err := DetectAll(r, rec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comb.Detected != 6 {
+		t.Fatalf("detected via %d channels, want 6", comb.Detected)
+	}
+	if comb.WM.String() != wm.String() {
+		t.Fatalf("combined %s, want %s", comb.WM, wm)
+	}
+}
+
+// The closure's orientation rule spreads modifications: with store already
+// modified by (K,store), the {store,product} pair should prefer modifying
+// whichever side was altered less.
+func TestClosureSpreadsModifications(t *testing.T) {
+	r, cfg := threeCatRelation(t, 8000)
+	plan, err := BuildPlan(r, cfg, PlanOptions{IncludeInterAttribute: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Count per-attribute modified-passes over the whole plan. The 4-value
+	// channel attribute can never take the key role, so it necessarily
+	// absorbs the modification in both of its pairs (PK + 2 = 3 total).
+	// The balance guarantee applies to the key-capable attributes: in the
+	// orientable {store, product} pair the rule must modify whichever side
+	// carries less load (a tie after the PK passes, broken toward using
+	// the higher-cardinality store as key), so store 1, product 2.
+	modCount := map[string]int{}
+	for _, p := range plan {
+		modCount[p.Attr]++
+	}
+	if modCount["channel"] != 3 {
+		t.Fatalf("channel modified %d times, want 3 (forced)", modCount["channel"])
+	}
+	if modCount["store"] != 1 || modCount["product"] != 2 {
+		t.Fatalf("orientable pair misbalanced: %v", modCount)
+	}
+}
+
+// Detection must tolerate channels whose attributes vanished and channels
+// whose bandwidth collapsed, reporting per-channel errors rather than
+// failing wholesale.
+func TestDetectAllPartialChannelFailures(t *testing.T) {
+	r, cfg := threeCatRelation(t, 20000)
+	plan, err := BuildPlan(r, cfg, PlanOptions{IncludeInterAttribute: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wm := ecc.MustParseBits("101100")
+	rec, _, err := EmbedAll(r, wm, plan, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drop the product column entirely.
+	part, _, err := r.Project("id", "store", "channel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	comb, err := DetectAll(part, rec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	skipped := 0
+	for _, pd := range comb.PerPair {
+		if pd.Skipped {
+			skipped++
+		}
+	}
+	// Channels touching product: (K,product), (store,product) or
+	// (product,store), and possibly (product,channel)/(channel,product).
+	if skipped < 2 {
+		t.Fatalf("only %d channels skipped after dropping product", skipped)
+	}
+	if comb.Detected == 0 {
+		t.Fatal("no surviving channels")
+	}
+	if comb.WM.String() != wm.String() {
+		t.Fatalf("surviving channels decoded %s, want %s", comb.WM, wm)
+	}
+}

@@ -1,0 +1,307 @@
+// Package multimark implements the multiple-attribute embedding of Section
+// 3.3: instead of relying on the single (primary key, A) association, the
+// watermark is embedded separately into *every* usable attribute pair —
+// mark(K,A), mark(K,B), mark(A,B), … — treating one attribute of each pair
+// as the key. This defends against vertical-partitioning attacks (A5) that
+// drop the primary key, removes the scheme's primary-key dependency, and
+// multiplies the number of rights "witnesses".
+//
+// Interference between passes is controlled two ways, both from the paper:
+//
+//   - A ledger "remembers" which rows had an attribute modified by an
+//     earlier pass; later passes skip those rows for that attribute, so a
+//     committed bit is never overwritten (Section 3.3: "maintaining a
+//     hash-map at watermarking time, remembering modified tuples in each
+//     marking pass").
+//   - Each unordered attribute pair is embedded in one orientation only,
+//     chosen so the modified side is the attribute altered less so far —
+//     "spreading" the watermark — and the key side has enough distinct
+//     values to act as a key stand-in (the paper's closing note that a
+//     near-constant categorical attribute would upset fit-tuple selection).
+package multimark
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/ecc"
+	"repro/internal/keyhash"
+	"repro/internal/mark"
+	"repro/internal/quality"
+	"repro/internal/relation"
+)
+
+// Pair is one oriented embedding channel: KeyAttr plays the key role and
+// Attr is the categorical attribute modified.
+type Pair struct {
+	KeyAttr string
+	Attr    string
+}
+
+// String renders the paper's mark(K,A) notation.
+func (p Pair) String() string { return fmt.Sprintf("mark(%s,%s)", p.KeyAttr, p.Attr) }
+
+// Config parameterises a multi-attribute embedding.
+type Config struct {
+	// Secret is the master watermarking secret; per-pair keys k1, k2 are
+	// derived from it deterministically, so detection needs only Secret.
+	Secret string
+	// E is the fitness modulus, shared by all pairs.
+	E uint64
+	// Code is the ECC; nil means majority voting.
+	Code ecc.Code
+	// Domains maps each categorical attribute to its value catalog.
+	// Attributes without an entry get data-derived domains at embed time.
+	Domains map[string]*relation.Domain
+	// MinKeyCardinality is the minimum number of distinct values an
+	// attribute needs to serve as a pair's key; below it, fitness
+	// selection degenerates (all tuples sharing a value are selected
+	// together). 0 means the default of 8.
+	MinKeyCardinality int
+	// Assessor optionally gates every alteration across all passes.
+	Assessor *quality.Assessor
+}
+
+func (c *Config) minKeyCard() int {
+	if c.MinKeyCardinality <= 0 {
+		return 8
+	}
+	return c.MinKeyCardinality
+}
+
+// deriveKeys returns the (k1, k2) pair for a channel. Keys bind the
+// orientation, so mark(A,B) and mark(B,A) never share key material.
+func (c *Config) deriveKeys(p Pair) (keyhash.Key, keyhash.Key) {
+	base := c.Secret + "|" + p.KeyAttr + "->" + p.Attr
+	return keyhash.NewKey(base + "|k1"), keyhash.NewKey(base + "|k2")
+}
+
+// PlanOptions tunes BuildPlan.
+type PlanOptions struct {
+	// IncludeInterAttribute adds the (A_i, A_j) pairs between categorical
+	// attributes; disable to reproduce the plain Section 3.2 scheme with
+	// one pass per attribute.
+	IncludeInterAttribute bool
+}
+
+// BuildPlan computes the ordered pair closure over r's schema: first the
+// (primary key, A_i) channels for every categorical A_i, then — when
+// enabled — one oriented channel per unordered categorical pair, modified
+// side chosen as the attribute altered fewer times so far (ties broken
+// toward using the higher-cardinality attribute as key). Attributes whose
+// cardinality in r is below MinKeyCardinality are never used as keys.
+func BuildPlan(r *relation.Relation, cfg Config, opt PlanOptions) ([]Pair, error) {
+	if r.Len() == 0 {
+		return nil, errors.New("multimark: empty relation")
+	}
+	cats := r.Schema().CategoricalAttrs()
+	if len(cats) == 0 {
+		return nil, errors.New("multimark: schema has no categorical attributes")
+	}
+	pk := r.Schema().KeyName()
+
+	card := make(map[string]int, len(cats)+1)
+	for _, a := range cats {
+		if d, ok := cfg.Domains[a]; ok && d != nil {
+			card[a] = d.Size()
+			continue
+		}
+		d, err := relation.DomainOf(r, a)
+		if err != nil {
+			return nil, err
+		}
+		card[a] = d.Size()
+	}
+
+	var plan []Pair
+	modified := make(map[string]int) // pass count per modified attribute
+	for _, a := range cats {
+		if a == pk {
+			continue
+		}
+		if card[a] < 2 {
+			continue // no parity channel
+		}
+		plan = append(plan, Pair{KeyAttr: pk, Attr: a})
+		modified[a]++
+	}
+	if len(plan) == 0 {
+		return nil, errors.New("multimark: no categorical attribute offers a parity channel")
+	}
+	if !opt.IncludeInterAttribute {
+		return plan, nil
+	}
+
+	minCard := cfg.minKeyCard()
+	for i := 0; i < len(cats); i++ {
+		for j := i + 1; j < len(cats); j++ {
+			a, b := cats[i], cats[j]
+			if a == pk || b == pk {
+				continue
+			}
+			// Orient: modify the less-altered side; require the key side
+			// to have enough distinct values, the modified side ≥ 2.
+			candidates := []Pair{{KeyAttr: a, Attr: b}, {KeyAttr: b, Attr: a}}
+			sort.Slice(candidates, func(x, y int) bool {
+				cx, cy := candidates[x], candidates[y]
+				if modified[cx.Attr] != modified[cy.Attr] {
+					return modified[cx.Attr] < modified[cy.Attr]
+				}
+				return card[cx.KeyAttr] > card[cy.KeyAttr]
+			})
+			chosen := false
+			for _, cand := range candidates {
+				if card[cand.KeyAttr] >= minCard && card[cand.Attr] >= 2 {
+					plan = append(plan, cand)
+					modified[cand.Attr]++
+					chosen = true
+					break
+				}
+			}
+			_ = chosen // unpairable combinations are skipped silently
+		}
+	}
+	return plan, nil
+}
+
+// PairRecord is the per-channel state the owner must retain for detection.
+type PairRecord struct {
+	Pair Pair
+	// Bandwidth is the embedding-time |wm_data|, needed because detection
+	// may run on data of different size (A1/A2 attacks).
+	Bandwidth int
+}
+
+// Record is the detection-time state for a whole multi-attribute
+// embedding: the plan plus per-channel bandwidths. Keys are re-derived
+// from Config.Secret.
+type Record struct {
+	WMLen int
+	Pairs []PairRecord
+}
+
+// PairStats couples a channel with its embedding statistics.
+type PairStats struct {
+	Pair  Pair
+	Stats mark.EmbedStats
+}
+
+// EmbedAll embeds wm through every channel in plan, in order, maintaining
+// the interference ledger across passes. Returns the detection record and
+// per-pair statistics.
+func EmbedAll(r *relation.Relation, wm ecc.Bits, plan []Pair, cfg Config) (Record, []PairStats, error) {
+	if len(plan) == 0 {
+		return Record{}, nil, errors.New("multimark: empty plan")
+	}
+	rec := Record{WMLen: len(wm)}
+	var all []PairStats
+	// ledger[attr][row]: row's attr was written by an earlier pass.
+	ledger := make(map[string]map[int]bool)
+	for _, p := range plan {
+		k1, k2 := cfg.deriveKeys(p)
+		written := ledger[p.Attr]
+		if written == nil {
+			written = make(map[int]bool)
+			ledger[p.Attr] = written
+		}
+		opts := mark.Options{
+			KeyAttr:  p.KeyAttr,
+			Attr:     p.Attr,
+			K1:       k1,
+			K2:       k2,
+			E:        cfg.E,
+			Code:     cfg.Code,
+			Domain:   cfg.Domains[p.Attr],
+			Assessor: cfg.Assessor,
+			SkipRow:  func(row int) bool { return written[row] },
+			OnAlter:  func(row int) { written[row] = true },
+		}
+		st, err := mark.Embed(r, wm, opts)
+		if err != nil {
+			return Record{}, all, fmt.Errorf("multimark: %s: %w", p, err)
+		}
+		all = append(all, PairStats{Pair: p, Stats: st})
+		rec.Pairs = append(rec.Pairs, PairRecord{Pair: p, Bandwidth: st.Bandwidth})
+	}
+	return rec, all, nil
+}
+
+// PairDetection is one channel's detection outcome.
+type PairDetection struct {
+	Pair   Pair
+	Report mark.DetectReport
+	// Skipped is true when the channel's attributes are absent from the
+	// (possibly vertically partitioned) relation.
+	Skipped bool
+	// Err records a per-channel failure (e.g. bandwidth below |wm| after
+	// massive loss); the combined detection continues without it.
+	Err error
+}
+
+// CombinedReport aggregates detection across channels: per-bit majority
+// over every surviving channel's recovered watermark.
+type CombinedReport struct {
+	PerPair []PairDetection
+	// WM is the bitwise majority across detected channels.
+	WM ecc.Bits
+	// Detected is the number of channels that produced a watermark.
+	Detected int
+}
+
+// DetectAll attempts detection through every recorded channel, skipping
+// channels whose attributes did not survive partitioning, and combines
+// the survivors by per-bit majority.
+func DetectAll(r *relation.Relation, rec Record, cfg Config) (CombinedReport, error) {
+	if rec.WMLen <= 0 || len(rec.Pairs) == 0 {
+		return CombinedReport{}, errors.New("multimark: empty record")
+	}
+	var comb CombinedReport
+	votes := make([]ecc.VoteTally, rec.WMLen)
+	for _, pr := range rec.Pairs {
+		pd := PairDetection{Pair: pr.Pair}
+		_, haveKey := r.Schema().Index(pr.Pair.KeyAttr)
+		_, haveAttr := r.Schema().Index(pr.Pair.Attr)
+		if !haveKey || !haveAttr {
+			pd.Skipped = true
+			comb.PerPair = append(comb.PerPair, pd)
+			continue
+		}
+		k1, k2 := cfg.deriveKeys(pr.Pair)
+		opts := mark.Options{
+			KeyAttr:           pr.Pair.KeyAttr,
+			Attr:              pr.Pair.Attr,
+			K1:                k1,
+			K2:                k2,
+			E:                 cfg.E,
+			Code:              cfg.Code,
+			Domain:            cfg.Domains[pr.Pair.Attr],
+			BandwidthOverride: pr.Bandwidth,
+		}
+		rep, err := mark.Detect(r, rec.WMLen, opts)
+		if err != nil {
+			pd.Err = err
+			comb.PerPair = append(comb.PerPair, pd)
+			continue
+		}
+		pd.Report = rep
+		comb.PerPair = append(comb.PerPair, pd)
+		comb.Detected++
+		for i, b := range rep.WM {
+			switch b {
+			case ecc.One:
+				votes[i].Ones++
+			case ecc.Zero:
+				votes[i].Zeros++
+			}
+		}
+	}
+	if comb.Detected == 0 {
+		return comb, errors.New("multimark: no channel survived for detection")
+	}
+	comb.WM = make(ecc.Bits, rec.WMLen)
+	for i, v := range votes {
+		comb.WM[i] = v.Winner(ecc.Zero)
+	}
+	return comb, nil
+}

@@ -1,0 +1,758 @@
+package quality
+
+// This file implements the constraint expression language sketched as
+// future work in the paper's Section 6: "to define a generic language
+// (possibly subset of SQL) able to naturally express such constraints and
+// their propagation at embedding time". Constraints are boolean
+// expressions over the relation's state and the alteration stream,
+// compiled once and re-evaluated per alteration like any other Constraint:
+//
+//	altered_fraction() <= 0.02
+//	freq('city', 'chicago') >= 0.10 and freq_drift('city') <= 0.05
+//	not changed('zip') or count('zip', new()) > 0
+//
+// Grammar (an SQL-WHERE-like subset):
+//
+//	expr    := and_expr { OR and_expr }
+//	and_expr:= unary   { AND unary }
+//	unary   := NOT unary | comparison
+//	cmp     := sum [ (<=|<|>=|>|=|==|!=|<>) sum ]
+//	sum     := term { (+|-) term }
+//	term    := factor { (*|/) factor }
+//	factor  := NUMBER | STRING | func | ( expr )
+//	func    := IDENT ( [arg {, arg}] )
+//
+// Built-in functions (all numeric unless noted):
+//
+//	rows()                    relation size N
+//	altered()                 alterations committed so far (incl. current)
+//	altered_fraction()        altered() / rows()
+//	count(attr, value)        occurrences of value in attr (incremental)
+//	freq(attr, value)         count/N
+//	distinct(attr)            number of distinct values in attr
+//	freq_drift(attr)          L1 distance of attr's histogram from its
+//	                          state at compile time
+//	changed(attr)             1 when the current alteration touches attr
+//	old(), new()              the alteration's old/new value (string)
+//
+// String equality works through = / != between string-valued expressions;
+// numbers and strings never compare equal.
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/relation"
+	"repro/internal/stats"
+)
+
+// ParseConstraint compiles src into a Constraint named name, bound to r's
+// current state (baselines for freq_drift are captured now). The returned
+// constraint is stateful: it maintains per-attribute histograms
+// incrementally as alterations commit and revert.
+func ParseConstraint(name, src string, r *relation.Relation) (Constraint, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, fmt.Errorf("quality: %q: %w", name, err)
+	}
+	p := &parser{toks: toks}
+	ast, err := p.parseExpr()
+	if err != nil {
+		return nil, fmt.Errorf("quality: %q: %w", name, err)
+	}
+	if !p.atEOF() {
+		return nil, fmt.Errorf("quality: %q: trailing input at %q", name, p.peek().text)
+	}
+	ec := &exprConstraint{name: name, ast: ast, hists: map[string]*stats.Histogram{}}
+	// Bind histograms for every attribute the expression touches.
+	for _, attr := range ast.attrs(nil) {
+		if _, ok := r.Schema().Index(attr); !ok {
+			return nil, fmt.Errorf("quality: %q: unknown attribute %q", name, attr)
+		}
+		h, err := relation.HistogramOf(r, attr)
+		if err != nil {
+			return nil, err
+		}
+		ec.hists[attr] = h.Clone()
+		if ec.baselines == nil {
+			ec.baselines = map[string]*stats.Histogram{}
+		}
+		ec.baselines[attr] = h
+	}
+	// Probe-evaluate against a synthetic context to surface type errors
+	// (e.g. "1 + freq(...)" vs "old() + 1") at compile time.
+	probe := Context{Relation: r, Applied: 0, Alt: Alteration{Attr: probeAttr(ast), Old: "", New: ""}}
+	v, err := ast.eval(&evalEnv{ctx: probe, c: ec})
+	if err != nil {
+		return nil, fmt.Errorf("quality: %q: %w", name, err)
+	}
+	if _, ok := v.(bool); !ok {
+		return nil, fmt.Errorf("quality: %q: expression is %s-valued, need boolean", name, typeName(v))
+	}
+	return ec, nil
+}
+
+// probeAttr picks any referenced attribute so changed() probes type-check.
+func probeAttr(ast node) string {
+	attrs := ast.attrs(nil)
+	if len(attrs) > 0 {
+		return attrs[0]
+	}
+	return ""
+}
+
+// exprConstraint adapts a compiled expression to Constraint + Stateful.
+type exprConstraint struct {
+	name      string
+	ast       node
+	hists     map[string]*stats.Histogram // live, maintained incrementally
+	baselines map[string]*stats.Histogram // compile-time snapshots
+}
+
+func (c *exprConstraint) Name() string { return c.name }
+
+func (c *exprConstraint) Evaluate(ctx Context) error {
+	// Evaluate against the would-be-committed state: apply the delta to
+	// the touched histogram, evaluate, undo the delta (Commit re-applies
+	// it permanently on acceptance).
+	if h, ok := c.hists[ctx.Alt.Attr]; ok {
+		h.AddN(ctx.Alt.Old, -1)
+		h.AddN(ctx.Alt.New, 1)
+		defer func() {
+			h.AddN(ctx.Alt.New, -1)
+			h.AddN(ctx.Alt.Old, 1)
+		}()
+	}
+	v, err := c.ast.eval(&evalEnv{ctx: ctx, c: c})
+	if err != nil {
+		return err
+	}
+	b, ok := v.(bool)
+	if !ok {
+		return fmt.Errorf("constraint expression is %s-valued, need boolean", typeName(v))
+	}
+	if !b {
+		return errors.New("expression evaluated to false")
+	}
+	return nil
+}
+
+func (c *exprConstraint) Commit(ctx Context) {
+	if h, ok := c.hists[ctx.Alt.Attr]; ok {
+		h.AddN(ctx.Alt.Old, -1)
+		h.AddN(ctx.Alt.New, 1)
+	}
+}
+
+func (c *exprConstraint) Revert(ctx Context) {
+	if h, ok := c.hists[ctx.Alt.Attr]; ok {
+		h.AddN(ctx.Alt.New, -1)
+		h.AddN(ctx.Alt.Old, 1)
+	}
+}
+
+// ---- lexer ----------------------------------------------------------------
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokNumber
+	tokString
+	tokIdent
+	tokOp     // < <= > >= = == != <> + - * /
+	tokLParen // (
+	tokRParen // )
+	tokComma
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+func lex(src string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(src) {
+		ch := src[i]
+		switch {
+		case ch == ' ' || ch == '\t' || ch == '\n' || ch == '\r':
+			i++
+		case ch == '(':
+			toks = append(toks, token{tokLParen, "(", i})
+			i++
+		case ch == ')':
+			toks = append(toks, token{tokRParen, ")", i})
+			i++
+		case ch == ',':
+			toks = append(toks, token{tokComma, ",", i})
+			i++
+		case ch == '\'' || ch == '"':
+			quote := ch
+			j := i + 1
+			for j < len(src) && src[j] != quote {
+				j++
+			}
+			if j >= len(src) {
+				return nil, fmt.Errorf("unterminated string at offset %d", i)
+			}
+			toks = append(toks, token{tokString, src[i+1 : j], i})
+			i = j + 1
+		case ch >= '0' && ch <= '9' || ch == '.':
+			j := i
+			for j < len(src) && (src[j] >= '0' && src[j] <= '9' || src[j] == '.' || src[j] == 'e' ||
+				src[j] == 'E' || ((src[j] == '+' || src[j] == '-') && j > i && (src[j-1] == 'e' || src[j-1] == 'E'))) {
+				j++
+			}
+			text := src[i:j]
+			if _, err := strconv.ParseFloat(text, 64); err != nil {
+				return nil, fmt.Errorf("bad number %q at offset %d", text, i)
+			}
+			toks = append(toks, token{tokNumber, text, i})
+			i = j
+		case isIdentStart(ch):
+			j := i
+			for j < len(src) && isIdentPart(src[j]) {
+				j++
+			}
+			toks = append(toks, token{tokIdent, src[i:j], i})
+			i = j
+		case strings.ContainsRune("<>=!+-*/", rune(ch)):
+			j := i + 1
+			if j < len(src) && (src[j] == '=' || (ch == '<' && src[j] == '>')) {
+				j++
+			}
+			op := src[i:j]
+			switch op {
+			case "<", "<=", ">", ">=", "=", "==", "!=", "<>", "+", "-", "*", "/":
+				toks = append(toks, token{tokOp, op, i})
+			default:
+				return nil, fmt.Errorf("bad operator %q at offset %d", op, i)
+			}
+			i = j
+		default:
+			return nil, fmt.Errorf("unexpected character %q at offset %d", ch, i)
+		}
+	}
+	toks = append(toks, token{tokEOF, "", len(src)})
+	return toks, nil
+}
+
+func isIdentStart(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_'
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || c >= '0' && c <= '9'
+}
+
+// ---- parser ---------------------------------------------------------------
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) atEOF() bool { return p.peek().kind == tokEOF }
+
+func (p *parser) expect(kind tokKind, what string) (token, error) {
+	t := p.next()
+	if t.kind != kind {
+		return t, fmt.Errorf("expected %s at offset %d, got %q", what, t.pos, t.text)
+	}
+	return t, nil
+}
+
+func (p *parser) parseExpr() (node, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().kind == tokIdent && strings.EqualFold(p.peek().text, "or") {
+		p.next()
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = &boolNode{op: "or", left: left, right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAnd() (node, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().kind == tokIdent && strings.EqualFold(p.peek().text, "and") {
+		p.next()
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		left = &boolNode{op: "and", left: left, right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseUnary() (node, error) {
+	if p.peek().kind == tokIdent && strings.EqualFold(p.peek().text, "not") {
+		p.next()
+		inner, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &notNode{inner: inner}, nil
+	}
+	return p.parseComparison()
+}
+
+func (p *parser) parseComparison() (node, error) {
+	left, err := p.parseSum()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind == tokOp {
+		switch p.peek().text {
+		case "<", "<=", ">", ">=", "=", "==", "!=", "<>":
+			op := p.next().text
+			right, err := p.parseSum()
+			if err != nil {
+				return nil, err
+			}
+			return &cmpNode{op: op, left: left, right: right}, nil
+		}
+	}
+	return left, nil
+}
+
+func (p *parser) parseSum() (node, error) {
+	left, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().kind == tokOp && (p.peek().text == "+" || p.peek().text == "-") {
+		op := p.next().text
+		right, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		left = &arithNode{op: op, left: left, right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseTerm() (node, error) {
+	left, err := p.parseFactor()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().kind == tokOp && (p.peek().text == "*" || p.peek().text == "/") {
+		op := p.next().text
+		right, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		left = &arithNode{op: op, left: left, right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseFactor() (node, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokNumber:
+		p.next()
+		v, _ := strconv.ParseFloat(t.text, 64)
+		return &numNode{v: v}, nil
+	case tokString:
+		p.next()
+		return &strNode{v: t.text}, nil
+	case tokLParen:
+		p.next()
+		inner, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen, ")"); err != nil {
+			return nil, err
+		}
+		return inner, nil
+	case tokOp:
+		if t.text == "-" { // unary minus
+			p.next()
+			inner, err := p.parseFactor()
+			if err != nil {
+				return nil, err
+			}
+			return &arithNode{op: "-", left: &numNode{v: 0}, right: inner}, nil
+		}
+	case tokIdent:
+		return p.parseCall()
+	}
+	return nil, fmt.Errorf("unexpected %q at offset %d", t.text, t.pos)
+}
+
+var knownFuncs = map[string]struct{ minArgs, maxArgs int }{
+	"rows":             {0, 0},
+	"altered":          {0, 0},
+	"altered_fraction": {0, 0},
+	"count":            {2, 2},
+	"freq":             {2, 2},
+	"distinct":         {1, 1},
+	"freq_drift":       {1, 1},
+	"changed":          {1, 1},
+	"old":              {0, 0},
+	"new":              {0, 0},
+}
+
+func (p *parser) parseCall() (node, error) {
+	nameTok := p.next()
+	name := strings.ToLower(nameTok.text)
+	spec, ok := knownFuncs[name]
+	if !ok {
+		return nil, fmt.Errorf("unknown function %q at offset %d", nameTok.text, nameTok.pos)
+	}
+	if _, err := p.expect(tokLParen, "("); err != nil {
+		return nil, err
+	}
+	var args []node
+	if p.peek().kind != tokRParen {
+		for {
+			arg, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, arg)
+			if p.peek().kind != tokComma {
+				break
+			}
+			p.next()
+		}
+	}
+	if _, err := p.expect(tokRParen, ")"); err != nil {
+		return nil, err
+	}
+	if len(args) < spec.minArgs || len(args) > spec.maxArgs {
+		return nil, fmt.Errorf("%s() takes %d argument(s), got %d", name, spec.minArgs, len(args))
+	}
+	return &callNode{name: name, args: args}, nil
+}
+
+// ---- AST + evaluation ------------------------------------------------------
+
+// value is float64, string, or bool.
+type value interface{}
+
+func typeName(v value) string {
+	switch v.(type) {
+	case float64:
+		return "number"
+	case string:
+		return "string"
+	case bool:
+		return "boolean"
+	default:
+		return "unknown"
+	}
+}
+
+type evalEnv struct {
+	ctx Context
+	c   *exprConstraint
+}
+
+// node is an AST node. attrs accumulates the attribute names the
+// expression references, so the constraint can bind histograms.
+type node interface {
+	eval(env *evalEnv) (value, error)
+	attrs(acc []string) []string
+}
+
+type numNode struct{ v float64 }
+
+func (n *numNode) eval(*evalEnv) (value, error) { return n.v, nil }
+func (n *numNode) attrs(acc []string) []string  { return acc }
+
+type strNode struct{ v string }
+
+func (n *strNode) eval(*evalEnv) (value, error) { return n.v, nil }
+func (n *strNode) attrs(acc []string) []string  { return acc }
+
+type boolNode struct {
+	op          string // and | or
+	left, right node
+}
+
+func (n *boolNode) eval(env *evalEnv) (value, error) {
+	l, err := n.left.eval(env)
+	if err != nil {
+		return nil, err
+	}
+	lb, ok := l.(bool)
+	if !ok {
+		return nil, fmt.Errorf("%s: left operand is %s, need boolean", n.op, typeName(l))
+	}
+	// Short-circuit.
+	if n.op == "and" && !lb {
+		return false, nil
+	}
+	if n.op == "or" && lb {
+		return true, nil
+	}
+	r, err := n.right.eval(env)
+	if err != nil {
+		return nil, err
+	}
+	rb, ok := r.(bool)
+	if !ok {
+		return nil, fmt.Errorf("%s: right operand is %s, need boolean", n.op, typeName(r))
+	}
+	return rb, nil
+}
+
+func (n *boolNode) attrs(acc []string) []string {
+	return n.right.attrs(n.left.attrs(acc))
+}
+
+type notNode struct{ inner node }
+
+func (n *notNode) eval(env *evalEnv) (value, error) {
+	v, err := n.inner.eval(env)
+	if err != nil {
+		return nil, err
+	}
+	b, ok := v.(bool)
+	if !ok {
+		return nil, fmt.Errorf("not: operand is %s, need boolean", typeName(v))
+	}
+	return !b, nil
+}
+
+func (n *notNode) attrs(acc []string) []string { return n.inner.attrs(acc) }
+
+type cmpNode struct {
+	op          string
+	left, right node
+}
+
+func (n *cmpNode) eval(env *evalEnv) (value, error) {
+	l, err := n.left.eval(env)
+	if err != nil {
+		return nil, err
+	}
+	r, err := n.right.eval(env)
+	if err != nil {
+		return nil, err
+	}
+	// String comparison: only equality operators.
+	ls, lIsStr := l.(string)
+	rs, rIsStr := r.(string)
+	if lIsStr || rIsStr {
+		switch n.op {
+		case "=", "==":
+			return lIsStr && rIsStr && ls == rs, nil
+		case "!=", "<>":
+			return !(lIsStr && rIsStr && ls == rs), nil
+		default:
+			return nil, fmt.Errorf("operator %q not defined on strings", n.op)
+		}
+	}
+	lf, lok := l.(float64)
+	rf, rok := r.(float64)
+	if !lok || !rok {
+		return nil, fmt.Errorf("comparison needs numbers or strings, got %s %s %s",
+			typeName(l), n.op, typeName(r))
+	}
+	switch n.op {
+	case "<":
+		return lf < rf, nil
+	case "<=":
+		return lf <= rf, nil
+	case ">":
+		return lf > rf, nil
+	case ">=":
+		return lf >= rf, nil
+	case "=", "==":
+		return lf == rf, nil
+	case "!=", "<>":
+		return lf != rf, nil
+	}
+	return nil, fmt.Errorf("unknown comparison %q", n.op)
+}
+
+func (n *cmpNode) attrs(acc []string) []string {
+	return n.right.attrs(n.left.attrs(acc))
+}
+
+type arithNode struct {
+	op          string
+	left, right node
+}
+
+func (n *arithNode) eval(env *evalEnv) (value, error) {
+	l, err := n.left.eval(env)
+	if err != nil {
+		return nil, err
+	}
+	r, err := n.right.eval(env)
+	if err != nil {
+		return nil, err
+	}
+	lf, lok := l.(float64)
+	rf, rok := r.(float64)
+	if !lok || !rok {
+		return nil, fmt.Errorf("arithmetic needs numbers, got %s %s %s",
+			typeName(l), n.op, typeName(r))
+	}
+	switch n.op {
+	case "+":
+		return lf + rf, nil
+	case "-":
+		return lf - rf, nil
+	case "*":
+		return lf * rf, nil
+	case "/":
+		if rf == 0 {
+			return nil, errors.New("division by zero")
+		}
+		return lf / rf, nil
+	}
+	return nil, fmt.Errorf("unknown operator %q", n.op)
+}
+
+func (n *arithNode) attrs(acc []string) []string {
+	return n.right.attrs(n.left.attrs(acc))
+}
+
+type callNode struct {
+	name string
+	args []node
+}
+
+func (n *callNode) eval(env *evalEnv) (value, error) {
+	argStr := func(i int) (string, error) {
+		v, err := n.args[i].eval(env)
+		if err != nil {
+			return "", err
+		}
+		s, ok := v.(string)
+		if !ok {
+			return "", fmt.Errorf("%s(): argument %d is %s, need string", n.name, i+1, typeName(v))
+		}
+		return s, nil
+	}
+	hist := func(attr string) (*stats.Histogram, error) {
+		h, ok := env.c.hists[attr]
+		if !ok {
+			return nil, fmt.Errorf("%s(): attribute %q not bound (must appear as a literal)", n.name, attr)
+		}
+		return h, nil
+	}
+	switch n.name {
+	case "rows":
+		return float64(env.ctx.Relation.Len()), nil
+	case "altered":
+		return float64(env.ctx.Applied), nil
+	case "altered_fraction":
+		nRows := env.ctx.Relation.Len()
+		if nRows == 0 {
+			return 0.0, nil
+		}
+		return float64(env.ctx.Applied) / float64(nRows), nil
+	case "count", "freq":
+		attr, err := argStr(0)
+		if err != nil {
+			return nil, err
+		}
+		val, err := argStr(1)
+		if err != nil {
+			return nil, err
+		}
+		h, err := hist(attr)
+		if err != nil {
+			return nil, err
+		}
+		if n.name == "count" {
+			return float64(h.Count(val)), nil
+		}
+		return h.Freq(val), nil
+	case "distinct":
+		attr, err := argStr(0)
+		if err != nil {
+			return nil, err
+		}
+		h, err := hist(attr)
+		if err != nil {
+			return nil, err
+		}
+		return float64(h.Distinct()), nil
+	case "freq_drift":
+		attr, err := argStr(0)
+		if err != nil {
+			return nil, err
+		}
+		h, err := hist(attr)
+		if err != nil {
+			return nil, err
+		}
+		base, ok := env.c.baselines[attr]
+		if !ok {
+			return nil, fmt.Errorf("freq_drift(): no baseline for %q", attr)
+		}
+		return h.L1Distance(base), nil
+	case "changed":
+		attr, err := argStr(0)
+		if err != nil {
+			return nil, err
+		}
+		return env.ctx.Alt.Attr == attr, nil
+	case "old":
+		return env.ctx.Alt.Old, nil
+	case "new":
+		return env.ctx.Alt.New, nil
+	}
+	return nil, fmt.Errorf("unknown function %q", n.name)
+}
+
+// attrs extracts literal attribute names from the histogram-touching
+// functions so ParseConstraint can bind them at compile time.
+func (n *callNode) attrs(acc []string) []string {
+	attrArg := -1
+	switch n.name {
+	case "count", "freq", "distinct", "freq_drift", "changed":
+		attrArg = 0
+	}
+	if attrArg >= 0 && attrArg < len(n.args) {
+		if s, ok := n.args[attrArg].(*strNode); ok {
+			found := false
+			for _, a := range acc {
+				if a == s.v {
+					found = true
+					break
+				}
+			}
+			if !found {
+				acc = append(acc, s.v)
+			}
+		}
+	}
+	for _, a := range n.args {
+		acc = a.attrs(acc)
+	}
+	return acc
+}

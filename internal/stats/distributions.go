@@ -1,0 +1,158 @@
+package stats
+
+import "math"
+
+// This file holds the closed-form distribution mathematics used by the
+// Section 4.4 vulnerability analysis: the standard normal CDF and quantile
+// (the paper's "normal distribution table lookup"), and exact binomial tail
+// probabilities for cross-checking the paper's central-limit approximation.
+
+// NormalCDF returns Φ(x), the standard normal cumulative distribution
+// function.
+func NormalCDF(x float64) float64 {
+	return 0.5 * math.Erfc(-x/math.Sqrt2)
+}
+
+// NormalSurvival returns 1 − Φ(x) with full precision in the upper tail.
+func NormalSurvival(x float64) float64 {
+	return 0.5 * math.Erfc(x/math.Sqrt2)
+}
+
+// NormalQuantile returns Φ⁻¹(p) for p in (0, 1): the z value such that
+// Φ(z) = p. It uses the Acklam rational approximation refined by one
+// Halley step against math.Erfc, giving ~1e-15 relative accuracy — far
+// beyond the printed tables the paper consulted.
+func NormalQuantile(p float64) float64 {
+	if math.IsNaN(p) || p <= 0 || p >= 1 {
+		if p == 0 {
+			return math.Inf(-1)
+		}
+		if p == 1 {
+			return math.Inf(1)
+		}
+		return math.NaN()
+	}
+
+	// Acklam's approximation.
+	const (
+		pLow  = 0.02425
+		pHigh = 1 - pLow
+	)
+	var a = [6]float64{
+		-3.969683028665376e+01, 2.209460984245205e+02,
+		-2.759285104469687e+02, 1.383577518672690e+02,
+		-3.066479806614716e+01, 2.506628277459239e+00,
+	}
+	var b = [5]float64{
+		-5.447609879822406e+01, 1.615858368580409e+02,
+		-1.556989798598866e+02, 6.680131188771972e+01,
+		-1.328068155288572e+01,
+	}
+	var c = [6]float64{
+		-7.784894002430293e-03, -3.223964580411365e-01,
+		-2.400758277161838e+00, -2.549732539343734e+00,
+		4.374664141464968e+00, 2.938163982698783e+00,
+	}
+	var d = [4]float64{
+		7.784695709041462e-03, 3.224671290700398e-01,
+		2.445134137142996e+00, 3.754408661907416e+00,
+	}
+
+	var x float64
+	switch {
+	case p < pLow:
+		q := math.Sqrt(-2 * math.Log(p))
+		x = (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p <= pHigh:
+		q := p - 0.5
+		r := q * q
+		x = (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	default:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		x = -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	}
+
+	// One Halley refinement.
+	e := NormalCDF(x) - p
+	u := e * math.Sqrt(2*math.Pi) * math.Exp(x*x/2)
+	x = x - u/(1+x*u/2)
+	return x
+}
+
+// LogBinomialCoeff returns ln C(n, k) via lgamma, valid for large n.
+func LogBinomialCoeff(n, k int) float64 {
+	if k < 0 || k > n {
+		return math.Inf(-1)
+	}
+	ln1, _ := math.Lgamma(float64(n + 1))
+	lk, _ := math.Lgamma(float64(k + 1))
+	lnk, _ := math.Lgamma(float64(n - k + 1))
+	return ln1 - lk - lnk
+}
+
+// BinomialPMF returns P[X = k] for X ~ Binomial(n, p), computed in
+// log-space for numerical stability at large n.
+func BinomialPMF(n, k int, p float64) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	if p <= 0 {
+		if k == 0 {
+			return 1
+		}
+		return 0
+	}
+	if p >= 1 {
+		if k == n {
+			return 1
+		}
+		return 0
+	}
+	lp := LogBinomialCoeff(n, k) +
+		float64(k)*math.Log(p) + float64(n-k)*math.Log(1-p)
+	return math.Exp(lp)
+}
+
+// BinomialTail returns P[X >= k] for X ~ Binomial(n, p). This is the exact
+// form of the paper's equation (1): the probability that a random-alteration
+// attack flips at least r embedded bits when it reaches a/e marked tuples
+// each flipped with success rate p.
+func BinomialTail(n, k int, p float64) float64 {
+	if k <= 0 {
+		return 1
+	}
+	if k > n {
+		return 0
+	}
+	// Sum the smaller side for accuracy.
+	if float64(k) > float64(n)*p {
+		sum := 0.0
+		for i := k; i <= n; i++ {
+			sum += BinomialPMF(n, i, p)
+		}
+		return math.Min(sum, 1)
+	}
+	sum := 0.0
+	for i := 0; i < k; i++ {
+		sum += BinomialPMF(n, i, p)
+	}
+	return math.Max(0, 1-sum)
+}
+
+// BinomialMean returns E[X] = n·p.
+func BinomialMean(n int, p float64) float64 { return float64(n) * p }
+
+// BinomialStdDev returns σ = sqrt(n·p·(1−p)), the denominator of the
+// paper's equation (2).
+func BinomialStdDev(n int, p float64) float64 {
+	return math.Sqrt(float64(n) * p * (1 - p))
+}
+
+// CLTApplies reports the paper's stated applicability condition for the
+// central-limit approximation: n·p ≥ 5 and n·(1−p) ≥ 5.
+func CLTApplies(n int, p float64) bool {
+	return float64(n)*p >= 5 && float64(n)*(1-p) >= 5
+}

@@ -1,0 +1,222 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSourceDeterministic(t *testing.T) {
+	a, b := NewSource("seed"), NewSource("seed")
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("sources diverged at draw %d", i)
+		}
+	}
+}
+
+func TestSourceSeedSensitivity(t *testing.T) {
+	a, b := NewSource("seed-1"), NewSource("seed-2")
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same != 0 {
+		t.Fatalf("different seeds shared %d of 100 draws", same)
+	}
+}
+
+func TestForkIndependence(t *testing.T) {
+	parent := NewSource("parent")
+	c1 := parent.Fork("pass-1")
+	c2 := parent.Fork("pass-2")
+	c1again := NewSource("parent").Fork("pass-1")
+	if c1.Uint64() != c1again.Uint64() {
+		t.Fatal("fork not deterministic")
+	}
+	if c1.Uint64() == c2.Uint64() {
+		t.Fatal("sibling forks produced identical draws")
+	}
+}
+
+func TestForkDoesNotDisturbParent(t *testing.T) {
+	a := NewSource("p")
+	b := NewSource("p")
+	_ = a.Fork("child")
+	for i := 0; i < 16; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("Fork consumed parent state")
+		}
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	s := NewSource("intn")
+	for _, n := range []int{1, 2, 7, 100, 1 << 20} {
+		for i := 0; i < 200; i++ {
+			v := s.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsNonPositive(t *testing.T) {
+	for _, n := range []int{0, -3} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Intn(%d): expected panic", n)
+				}
+			}()
+			NewSource("x").Intn(n)
+		}()
+	}
+}
+
+func TestIntnUniform(t *testing.T) {
+	s := NewSource("uniform")
+	const n, trials = 10, 50000
+	counts := make([]int, n)
+	for i := 0; i < trials; i++ {
+		counts[s.Intn(n)]++
+	}
+	want := float64(trials) / n
+	for v, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("value %d drawn %d times, want ~%.0f", v, c, want)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := NewSource("f64")
+	sum := 0.0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		f := s.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", f)
+		}
+		sum += f
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("Float64 mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := NewSource("perm")
+	for _, n := range []int{0, 1, 5, 100} {
+		p := s.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) invalid: %v", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestSampleDistinct(t *testing.T) {
+	s := NewSource("sample")
+	f := func(n16, k16 uint16) bool {
+		n := int(n16%500) + 1
+		k := int(k16) % (n + 1)
+		got := s.Sample(n, k)
+		if len(got) != k {
+			return false
+		}
+		seen := map[int]bool{}
+		for _, v := range got {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSamplePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for k > n")
+		}
+	}()
+	NewSource("x").Sample(3, 4)
+}
+
+func TestSampleCoverage(t *testing.T) {
+	// Every index should be selectable.
+	s := NewSource("cov")
+	seen := map[int]bool{}
+	for i := 0; i < 200; i++ {
+		for _, v := range s.Sample(10, 3) {
+			seen[v] = true
+		}
+	}
+	if len(seen) != 10 {
+		t.Fatalf("Sample covered %d of 10 indices", len(seen))
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	s := NewSource("bool")
+	const trials = 40000
+	hits := 0
+	for i := 0; i < trials; i++ {
+		if s.Bool(0.3) {
+			hits++
+		}
+	}
+	want := 0.3 * trials
+	if math.Abs(float64(hits)-want) > 5*math.Sqrt(want*0.7) {
+		t.Errorf("Bool(0.3) hit %d of %d, want ~%.0f", hits, trials, want)
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	s := NewSource("norm")
+	const n = 50000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := s.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("normal mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.05 {
+		t.Errorf("normal variance = %v, want ~1", variance)
+	}
+}
+
+func TestShuffleIsPermutation(t *testing.T) {
+	s := NewSource("shuffle")
+	vals := []int{10, 20, 30, 40, 50, 60}
+	orig := append([]int(nil), vals...)
+	s.Shuffle(len(vals), func(i, j int) { vals[i], vals[j] = vals[j], vals[i] })
+	counts := map[int]int{}
+	for _, v := range vals {
+		counts[v]++
+	}
+	for _, v := range orig {
+		if counts[v] != 1 {
+			t.Fatalf("shuffle lost or duplicated %d: %v", v, vals)
+		}
+	}
+}
