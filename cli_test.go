@@ -273,3 +273,46 @@ func TestCLIErrors(t *testing.T) {
 	// Datagen without -out.
 	runExpectFail(t, bins["wmdatagen"], "-dataset", "itemscan")
 }
+
+// TestCLIParallel: the -parallel flag must reproduce the sequential
+// embed/detect results exactly — same marked file, same recovered bits.
+func TestCLIParallel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bins := buildCommands(t)
+	dir := t.TempDir()
+	data := filepath.Join(dir, "itemscan.csv")
+	seqMarked := filepath.Join(dir, "seq.csv")
+	parMarked := filepath.Join(dir, "par.csv")
+	domain := filepath.Join(dir, "Item_Nbr.domain")
+
+	run(t, bins["wmdatagen"], "-dataset", "itemscan", "-n", "8000",
+		"-catalog", "400", "-seed", "cli-parallel", "-out", data, "-domains-dir", dir)
+
+	embedArgs := []string{"embed", "-in", data, "-schema", itemScanSpec,
+		"-attr", "Item_Nbr", "-wm", "1011001110", "-k1", "cli-s1", "-k2", "cli-s2",
+		"-e", "40", "-domain", domain}
+	run(t, bins["wmtool"], append(embedArgs, "-out", seqMarked)...)
+	run(t, bins["wmtool"], append(embedArgs, "-out", parMarked, "-parallel", "0")...)
+
+	seqBytes, err := os.ReadFile(seqMarked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parBytes, err := os.ReadFile(parMarked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(seqBytes) != string(parBytes) {
+		t.Fatal("-parallel embed produced a different marked file")
+	}
+
+	out := run(t, bins["wmtool"], "detect", "-in", parMarked, "-schema", itemScanSpec,
+		"-attr", "Item_Nbr", "-wmlen", "10", "-k1", "cli-s1", "-k2", "cli-s2",
+		"-e", "40", "-domain", domain, "-expect", "1011001110", "-parallel", "0")
+	if !strings.Contains(out, "detected watermark: 1011001110") ||
+		!strings.Contains(out, "match vs expected: 100.0%") {
+		t.Fatalf("parallel detect output: %s", out)
+	}
+}

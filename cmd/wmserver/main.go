@@ -1,0 +1,37 @@
+// Command wmserver runs the watermarking system as an HTTP service: embed
+// and verify jobs arrive as JSON, run through the chunked worker pool of
+// internal/pipeline, and certificates persist in an on-disk record store.
+//
+// Usage:
+//
+//	wmserver -addr :8080 -store ./wmstore -workers 0
+//
+// See internal/server for the endpoint reference, README.md for a
+// quickstart with curl. SIGINT/SIGTERM drains in-flight requests before
+// exiting.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	storeDir := flag.String("store", "./wmstore", "certificate store directory")
+	workers := flag.Int("workers", 0, "default pipeline workers per job (0 = NumCPU)")
+	maxBody := flag.Int64("max-body", server.DefaultMaxBodyBytes, "maximum request body bytes")
+	flag.Parse()
+
+	err := server.Run(*addr, *storeDir, server.Config{
+		Workers:      *workers,
+		MaxBodyBytes: *maxBody,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wmserver:", err)
+		os.Exit(1)
+	}
+}

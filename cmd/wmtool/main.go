@@ -7,15 +7,21 @@
 //	wmtool detect  -in marked.csv -schema SPEC -attr A -wmlen N -k1 S1 -k2 S2 -e N [-bandwidth B]
 //	wmtool attack  -in marked.csv -schema SPEC -type T [-frac F] [-attr A] [-seed S] -out attacked.csv
 //	wmtool analyze [-n N] [-e E] [-a A] [-p P] [-r R] [-theta T]
+//	wmtool serve   [-addr :8080] [-store DIR] [-workers N]
 //
 // SPEC is the schema grammar of internal/relation, e.g.
 // "Visit_Nbr:int!key, Item_Nbr:int:categorical". Attack types: subset,
 // addition, alteration, shuffle, sort, remap.
+//
+// embed, detect, watermark and verify accept -parallel N to run the
+// chunked worker pool of internal/pipeline (1 = sequential, 0 = NumCPU);
+// serve runs the wmserver HTTP API in-process.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log"
 	"os"
 	"strings"
 
@@ -25,7 +31,9 @@ import (
 	"repro/internal/ecc"
 	"repro/internal/keyhash"
 	"repro/internal/mark"
+	"repro/internal/pipeline"
 	"repro/internal/relation"
+	"repro/internal/server"
 	"repro/internal/stats"
 )
 
@@ -48,6 +56,8 @@ func main() {
 		err = cmdAttack(os.Args[2:])
 	case "analyze":
 		err = cmdAnalyze(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -71,6 +81,7 @@ commands:
   detect     low-level: blindly recover a watermark
   attack     apply an adversary-model attack (A1-A6)
   analyze    Section 4.4 vulnerability mathematics
+  serve      run the wmserver HTTP API in-process
 
 run 'wmtool <command> -h' for flags`)
 }
@@ -133,6 +144,7 @@ func cmdEmbed(args []string) error {
 		fmt.Sprintf("error correcting code %v", ecc.Names()))
 	domainPath := fs.String("domain", "", "value catalog file for -attr (one value per line); strongly recommended — see detect")
 	out := fs.String("out", "", "output CSV")
+	parallel := fs.Int("parallel", 1, "pipeline workers (1 = sequential, 0 = NumCPU)")
 	fs.Parse(args)
 
 	if *in == "" || *spec == "" || *attr == "" || *wmStr == "" || *k1 == "" || *k2 == "" || *out == "" {
@@ -165,7 +177,7 @@ func cmdEmbed(args []string) error {
 		Code:    code,
 		Domain:  dom,
 	}
-	st, err := mark.Embed(r, wm, opts)
+	st, err := pipeline.Embed(r, wm, opts, pipeline.Config{Workers: *parallel})
 	if err != nil {
 		return err
 	}
@@ -194,6 +206,7 @@ func cmdDetect(args []string) error {
 	codeName := fs.String("code", ecc.MajorityCode{}.Name(), "error correcting code")
 	domainPath := fs.String("domain", "", "value catalog file for -attr; without it the domain is derived from the (possibly attacked) data and indices may shift")
 	expect := fs.String("expect", "", "optional expected bits to score against")
+	parallel := fs.Int("parallel", 1, "pipeline workers (1 = sequential, 0 = NumCPU)")
 	fs.Parse(args)
 
 	if *in == "" || *spec == "" || *attr == "" || *wmLen <= 0 || *k1 == "" || *k2 == "" {
@@ -223,7 +236,7 @@ func cmdDetect(args []string) error {
 		Domain:            dom,
 		BandwidthOverride: *bw,
 	}
-	rep, err := mark.Detect(r, *wmLen, opts)
+	rep, err := pipeline.Detect(r, *wmLen, opts, pipeline.Config{Workers: *parallel})
 	if err != nil {
 		return err
 	}
@@ -261,6 +274,7 @@ func cmdWatermark(args []string) error {
 	maxAlter := fs.Float64("max-alteration", 0, "quality budget: maximum fraction of tuples altered (0 = unlimited)")
 	out := fs.String("out", "", "output CSV")
 	recordPath := fs.String("record", "", "output watermark certificate (JSON, secret!)")
+	parallel := fs.Int("parallel", 1, "pipeline workers (1 = sequential, 0 = NumCPU)")
 	fs.Parse(args)
 
 	if *in == "" || *spec == "" || *attr == "" || *secret == "" || *wmStr == "" || *out == "" || *recordPath == "" {
@@ -284,6 +298,7 @@ func cmdWatermark(args []string) error {
 		Domain:                dom,
 		WithFrequencyChannel:  *withFreq,
 		MaxAlterationFraction: *maxAlter,
+		Workers:               specWorkers(*parallel),
 	})
 	if err != nil {
 		return err
@@ -308,11 +323,21 @@ func cmdWatermark(args []string) error {
 	return nil
 }
 
+// specWorkers maps the CLI -parallel convention (1 = sequential,
+// 0 = NumCPU) onto core.Spec.Workers (0/1 = sequential, < 0 = NumCPU).
+func specWorkers(parallel int) int {
+	if parallel == 0 {
+		return -1
+	}
+	return parallel
+}
+
 func cmdVerify(args []string) error {
 	fs := flag.NewFlagSet("verify", flag.ExitOnError)
 	in := fs.String("in", "", "suspect CSV")
 	spec := fs.String("schema", "", "schema spec")
 	recordPath := fs.String("record", "", "watermark certificate (JSON)")
+	parallel := fs.Int("parallel", 1, "pipeline workers (1 = sequential, 0 = NumCPU)")
 	fs.Parse(args)
 
 	if *in == "" || *spec == "" || *recordPath == "" {
@@ -330,7 +355,7 @@ func cmdVerify(args []string) error {
 	if err != nil {
 		return err
 	}
-	rep, err := rec.Verify(suspect)
+	rep, err := rec.VerifyParallel(suspect, specWorkers(*parallel))
 	if err != nil {
 		return err
 	}
@@ -424,6 +449,21 @@ func cmdAttack(args []string) error {
 		return err
 	}
 	return saveRelation(*out, attacked)
+}
+
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	storeDir := fs.String("store", "./wmstore", "certificate store directory")
+	workers := fs.Int("workers", 0, "default pipeline workers per job (0 = NumCPU)")
+	maxBody := fs.Int64("max-body", server.DefaultMaxBodyBytes, "maximum request body bytes")
+	fs.Parse(args)
+
+	return server.Run(*addr, *storeDir, server.Config{
+		Workers:      *workers,
+		MaxBodyBytes: *maxBody,
+		Log:          log.New(os.Stderr, "wmtool serve: ", log.LstdFlags),
+	})
 }
 
 func cmdAnalyze(args []string) error {

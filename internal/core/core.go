@@ -27,11 +27,13 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"runtime"
 
 	"repro/internal/ecc"
 	"repro/internal/freq"
 	"repro/internal/keyhash"
 	"repro/internal/mark"
+	"repro/internal/pipeline"
 	"repro/internal/quality"
 	"repro/internal/relation"
 )
@@ -60,6 +62,25 @@ type Spec struct {
 	// MaxAlterationFraction bounds total data change; 0 means unlimited.
 	// Enforced through the Section 4.1 quality assessor.
 	MaxAlterationFraction float64
+	// Workers selects the execution engine for the key-association
+	// channel: 0 or 1 runs the sequential pass, >1 runs the chunked
+	// worker pool of internal/pipeline with that many workers, and any
+	// negative value means runtime.NumCPU(). Quality-gated embedding
+	// (MaxAlterationFraction > 0) is order-dependent and always runs
+	// sequentially.
+	Workers int
+}
+
+// workerCount normalizes a Spec.Workers-style knob: 0 → sequential,
+// negative → NumCPU.
+func workerCount(w int) int {
+	if w == 0 {
+		return 1
+	}
+	if w < 0 {
+		return runtime.NumCPU()
+	}
+	return w
 }
 
 // Stats reports what Watermark changed.
@@ -136,7 +157,7 @@ func Watermark(r *relation.Relation, s Spec) (*Record, Stats, error) {
 		Domain:   dom,
 		Assessor: assessor,
 	}
-	mst, err := mark.Embed(r, wm, opts)
+	mst, err := pipeline.Embed(r, wm, opts, pipeline.Config{Workers: workerCount(s.Workers)})
 	if err != nil {
 		return nil, st, err
 	}
@@ -195,6 +216,19 @@ type Report struct {
 // retries. The frequency channel, when present, is scored as a secondary
 // witness. The suspect relation is never modified.
 func (rec *Record) Verify(suspect *relation.Relation) (Report, error) {
+	return rec.verify(suspect, 1)
+}
+
+// VerifyParallel is Verify with the detection scans chunked across a
+// worker pool (see internal/pipeline). workers follows the Spec.Workers
+// convention: 0 or 1 runs sequentially, > 1 uses that many goroutines,
+// negative means runtime.NumCPU(). The recovered bit string is
+// bit-identical to Verify's.
+func (rec *Record) VerifyParallel(suspect *relation.Relation, workers int) (Report, error) {
+	return rec.verify(suspect, workerCount(workers))
+}
+
+func (rec *Record) verify(suspect *relation.Relation, workers int) (Report, error) {
 	var rep Report
 	rep.FrequencyMatch = -1
 	want, err := ecc.ParseBits(rec.WM)
@@ -217,8 +251,9 @@ func (rec *Record) Verify(suspect *relation.Relation) (Report, error) {
 		BandwidthOverride: rec.Bandwidth,
 	}
 
+	cfg := pipeline.Config{Workers: workers}
 	working := suspect
-	det, err := mark.Detect(working, len(want), opts)
+	det, err := pipeline.Detect(working, len(want), opts, cfg)
 	if err != nil {
 		return rep, err
 	}
@@ -228,7 +263,7 @@ func (rec *Record) Verify(suspect *relation.Relation) (Report, error) {
 		if rerr == nil {
 			working = suspect.Clone()
 			if _, aerr := freq.ApplyMapping(working, rec.Attribute, inverse); aerr == nil {
-				if det2, derr := mark.Detect(working, len(want), opts); derr == nil {
+				if det2, derr := pipeline.Detect(working, len(want), opts, cfg); derr == nil {
 					det = det2
 					rep.RemapRecovered = true
 				}

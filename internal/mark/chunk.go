@@ -1,0 +1,398 @@
+package mark
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/ecc"
+	"repro/internal/keyhash"
+	"repro/internal/quality"
+	"repro/internal/relation"
+)
+
+// Chunked embedding and detection hooks. Every per-tuple decision in the
+// codec — fitness, bit position, value index — depends only on the tuple's
+// own key, so a relation can be partitioned into row ranges and processed
+// independently as long as the global parameters (|wm_data|, the domain,
+// the encoded wm_data) are fixed once up front. Embedder and Scanner fix
+// them; EmbedRange/Scan process a range; the merge operations recombine
+// partial results into exactly what the sequential pass would have
+// produced. Embed and Detect are themselves implemented as the one-chunk
+// special case, so the sequential and chunked paths cannot drift apart.
+//
+// internal/pipeline builds its worker pool on these hooks.
+
+// Embedder is a prepared embedding pass: options resolved, bandwidth
+// fixed, wm_data encoded. It is immutable after construction and safe for
+// concurrent use by multiple goroutines calling EmbedRange on disjoint
+// row ranges of the same relation.
+type Embedder struct {
+	opts    Options
+	keyCol  int
+	attrCol int
+	dom     *relation.Domain
+	bw      int
+	wmData  ecc.Bits
+}
+
+// NewEmbedder validates options against r and prepares an embedding pass
+// over its rows. The bandwidth |wm_data| is fixed from r.Len() (or
+// Options.BandwidthOverride) at construction time.
+func NewEmbedder(r *relation.Relation, wm ecc.Bits, opts Options) (*Embedder, error) {
+	keyCol, attrCol, dom, err := opts.resolve(r, true)
+	if err != nil {
+		return nil, err
+	}
+	if len(wm) == 0 {
+		return nil, errors.New("mark: empty watermark")
+	}
+	n := r.Len()
+	bw := opts.bandwidth(n)
+	if bw < len(wm) {
+		return nil, fmt.Errorf("%w: |wm|=%d, N/e=%d (N=%d, e=%d)",
+			ErrInsufficientBandwidth, len(wm), bw, n, opts.E)
+	}
+	wmData, err := opts.code().Encode(wm, bw)
+	if err != nil {
+		return nil, err
+	}
+	return &Embedder{
+		opts:    opts,
+		keyCol:  keyCol,
+		attrCol: attrCol,
+		dom:     dom,
+		bw:      bw,
+		wmData:  wmData,
+	}, nil
+}
+
+// NewStreamEmbedder prepares an embedding pass for data arriving as a row
+// stream, where no full relation exists to derive parameters from. It
+// therefore requires opts.Domain (the value catalog) and
+// opts.BandwidthOverride (the embedding-time |wm_data|) to be set
+// explicitly.
+func NewStreamEmbedder(schema *relation.Schema, wm ecc.Bits, opts Options) (*Embedder, error) {
+	keyCol, attrCol, dom, err := opts.resolveSchema(schema, true)
+	if err != nil {
+		return nil, err
+	}
+	if len(wm) == 0 {
+		return nil, errors.New("mark: empty watermark")
+	}
+	if opts.BandwidthOverride <= 0 {
+		return nil, errors.New("mark: streaming embed requires BandwidthOverride (stream length is unknown)")
+	}
+	bw := opts.BandwidthOverride
+	if bw < len(wm) {
+		return nil, fmt.Errorf("%w: |wm|=%d, bandwidth=%d",
+			ErrInsufficientBandwidth, len(wm), bw)
+	}
+	wmData, err := opts.code().Encode(wm, bw)
+	if err != nil {
+		return nil, err
+	}
+	return &Embedder{
+		opts:    opts,
+		keyCol:  keyCol,
+		attrCol: attrCol,
+		dom:     dom,
+		bw:      bw,
+		wmData:  wmData,
+	}, nil
+}
+
+// Bandwidth returns the fixed |wm_data| of this pass — the value a
+// detector must be given after data-loss attacks.
+func (e *Embedder) Bandwidth() int { return e.bw }
+
+// ChunkStats is the partial result of embedding one row range: the usual
+// statistics plus the set of wm_data positions the range touched, which
+// MergeChunks needs to count distinct positions across ranges.
+type ChunkStats struct {
+	EmbedStats
+	// Touched[pos] is true when some fit tuple of the range embedded
+	// wm_data position pos. Length is the pass bandwidth.
+	Touched []bool
+}
+
+// EmbedRange embeds rows [lo, hi) of r. It writes only the watermarked
+// attribute of rows inside the range, so concurrent calls on disjoint
+// ranges of the same relation are safe provided (a) Options.Assessor,
+// Options.SkipRow and Options.OnAlter are either nil or themselves
+// concurrency-safe (the quality assessor's shared alteration budget is
+// order-dependent), and (b) the watermarked attribute is NOT the
+// relation's primary key — rewriting key values mutates the shared key
+// index. internal/pipeline falls back to a sequential pass in both
+// cases.
+func (e *Embedder) EmbedRange(r *relation.Relation, lo, hi int) (ChunkStats, error) {
+	cs := ChunkStats{Touched: make([]bool, e.bw)}
+	cs.Bandwidth = e.bw
+	if lo < 0 || hi > r.Len() || lo > hi {
+		return cs, fmt.Errorf("mark: row range [%d, %d) out of bounds (N=%d)", lo, hi, r.Len())
+	}
+	cs.Tuples = hi - lo
+	opts := &e.opts
+	for j := lo; j < hi; j++ {
+		t := r.Tuple(j)
+		keyVal := t[e.keyCol]
+		d1 := keyhash.HashString(opts.K1, keyVal)
+		if !keyhash.Fit(d1, opts.E) {
+			continue
+		}
+		cs.Fit++
+		if opts.SkipRow != nil && opts.SkipRow(j) {
+			cs.SkippedLedger++
+			continue
+		}
+		pos := int(keyhash.HashString(opts.K2, keyVal).Mod(uint64(e.bw)))
+		bit := uint64(e.wmData[pos])
+		// Value-index selection: an independent digest word drives the
+		// pseudorandom pair choice so the mod-e fitness constraint on
+		// word 0 cannot bias it (DESIGN.md clarification 1).
+		idx := keyhash.PairIndex(d1.Uint64At(1), e.dom.Size(), bit)
+		newVal := e.dom.Value(idx)
+		old := t[e.attrCol]
+		if old == newVal {
+			cs.Unchanged++
+			cs.Touched[pos] = true
+			continue
+		}
+		if opts.Assessor != nil {
+			if aerr := opts.Assessor.Apply(r, j, opts.Attr, newVal); aerr != nil {
+				var verr *quality.ViolationError
+				if errors.As(aerr, &verr) {
+					cs.SkippedQuality++
+					continue
+				}
+				return cs, aerr
+			}
+		} else {
+			if serr := r.SetValue(j, opts.Attr, newVal); serr != nil {
+				return cs, serr
+			}
+		}
+		cs.Altered++
+		cs.Touched[pos] = true
+		if opts.OnAlter != nil {
+			opts.OnAlter(j)
+		}
+	}
+	return cs, nil
+}
+
+// Add folds another range's result into c (order-independent): counters
+// sum, touched sets union. Both chunks must come from the same pass.
+func (c *ChunkStats) Add(o ChunkStats) {
+	c.Tuples += o.Tuples
+	c.Fit += o.Fit
+	c.Altered += o.Altered
+	c.Unchanged += o.Unchanged
+	c.SkippedLedger += o.SkippedLedger
+	c.SkippedQuality += o.SkippedQuality
+	c.Bandwidth = o.Bandwidth
+	if c.Touched == nil {
+		c.Touched = make([]bool, len(o.Touched))
+	}
+	for pos, hit := range o.Touched {
+		if hit {
+			c.Touched[pos] = true
+		}
+	}
+}
+
+// MergeChunks combines per-range embedding results (in any order) into the
+// statistics the equivalent sequential pass would report.
+func MergeChunks(chunks ...ChunkStats) EmbedStats {
+	var agg ChunkStats
+	for _, c := range chunks {
+		agg.Add(c)
+	}
+	out := agg.EmbedStats
+	for _, hit := range agg.Touched {
+		if hit {
+			out.PositionsTouched++
+		}
+	}
+	return out
+}
+
+// Scanner is a prepared detection pass: options resolved, bandwidth fixed.
+// It is immutable after construction and safe for concurrent use by
+// multiple goroutines scanning disjoint row ranges.
+type Scanner struct {
+	opts    Options
+	keyCol  int
+	attrCol int
+	dom     *relation.Domain
+	bw      int
+	wmLen   int
+}
+
+// NewScanner validates options against r and prepares a detection pass.
+// The bandwidth is fixed from r.Len() (or Options.BandwidthOverride) at
+// construction time.
+func NewScanner(r *relation.Relation, wmLen int, opts Options) (*Scanner, error) {
+	keyCol, attrCol, dom, err := opts.resolve(r, true)
+	if err != nil {
+		return nil, err
+	}
+	return newScanner(keyCol, attrCol, dom, r.Len(), wmLen, opts)
+}
+
+// NewStreamScanner prepares a detection pass for data arriving as a row
+// stream. Like NewStreamEmbedder it requires opts.Domain and
+// opts.BandwidthOverride, because neither the value catalog nor the
+// stream length can be derived up front.
+func NewStreamScanner(schema *relation.Schema, wmLen int, opts Options) (*Scanner, error) {
+	keyCol, attrCol, dom, err := opts.resolveSchema(schema, true)
+	if err != nil {
+		return nil, err
+	}
+	if opts.BandwidthOverride <= 0 {
+		return nil, errors.New("mark: streaming detect requires BandwidthOverride (stream length is unknown)")
+	}
+	return newScanner(keyCol, attrCol, dom, 0, wmLen, opts)
+}
+
+func newScanner(keyCol, attrCol int, dom *relation.Domain, n, wmLen int, opts Options) (*Scanner, error) {
+	if wmLen <= 0 {
+		return nil, errors.New("mark: non-positive watermark length")
+	}
+	bw := opts.bandwidth(n)
+	if bw < wmLen {
+		return nil, fmt.Errorf("%w: |wm|=%d, N/e=%d (N=%d, e=%d)",
+			ErrInsufficientBandwidth, wmLen, bw, n, opts.E)
+	}
+	return &Scanner{
+		opts:    opts,
+		keyCol:  keyCol,
+		attrCol: attrCol,
+		dom:     dom,
+		bw:      bw,
+		wmLen:   wmLen,
+	}, nil
+}
+
+// Bandwidth returns the fixed |wm_data| of this pass.
+func (s *Scanner) Bandwidth() int { return s.bw }
+
+// Tally is the partial detection state accumulated over one or more row
+// ranges: per-position vote counts, the last vote seen in scan order
+// (for the LastWriteWins ablation), and the scan counters.
+type Tally struct {
+	// Rows is the number of tuples scanned.
+	Rows int
+	// Fit is the number of tuples passing the fitness criterion.
+	Fit int
+	// UnknownValues counts fit tuples whose value fell outside the domain.
+	UnknownValues int
+	// Votes holds per-position 0/1 vote counts.
+	Votes []ecc.VoteTally
+	// Last holds the last vote per position in scan order (ecc.Erased
+	// where the range cast no vote).
+	Last []uint8
+}
+
+// NewTally returns an empty tally sized for the scanner's bandwidth.
+func (s *Scanner) NewTally() *Tally {
+	t := &Tally{
+		Votes: make([]ecc.VoteTally, s.bw),
+		Last:  make([]uint8, s.bw),
+	}
+	for i := range t.Last {
+		t.Last[i] = ecc.Erased
+	}
+	return t
+}
+
+// Scan reads rows [lo, hi) of r and accumulates their votes into t. The
+// relation is never modified. Concurrent Scan calls must use distinct
+// tallies; merge them afterwards with Tally.Merge.
+func (s *Scanner) Scan(r *relation.Relation, lo, hi int, t *Tally) error {
+	if lo < 0 || hi > r.Len() || lo > hi {
+		return fmt.Errorf("mark: row range [%d, %d) out of bounds (N=%d)", lo, hi, r.Len())
+	}
+	opts := &s.opts
+	for j := lo; j < hi; j++ {
+		tup := r.Tuple(j)
+		keyVal := tup[s.keyCol]
+		d1 := keyhash.HashString(opts.K1, keyVal)
+		if !keyhash.Fit(d1, opts.E) {
+			continue
+		}
+		t.Fit++
+		idx, ok := s.dom.Index(tup[s.attrCol])
+		if !ok {
+			t.UnknownValues++
+			continue
+		}
+		pos := int(keyhash.HashString(opts.K2, keyVal).Mod(uint64(s.bw)))
+		bit := uint8(idx & 1)
+		if bit == ecc.One {
+			t.Votes[pos].Ones++
+		} else {
+			t.Votes[pos].Zeros++
+		}
+		t.Last[pos] = bit
+	}
+	t.Rows += hi - lo
+	return nil
+}
+
+// Merge folds a tally covering a LATER row range into t. Vote counts are
+// commutative; the Last column is not — merge tallies in scan order so
+// that LastWriteWins aggregation reproduces the sequential pass exactly.
+func (t *Tally) Merge(later *Tally) {
+	t.Rows += later.Rows
+	t.Fit += later.Fit
+	t.UnknownValues += later.UnknownValues
+	for i := range t.Votes {
+		t.Votes[i].Zeros += later.Votes[i].Zeros
+		t.Votes[i].Ones += later.Votes[i].Ones
+		if later.Last[i] != ecc.Erased {
+			t.Last[i] = later.Last[i]
+		}
+	}
+}
+
+// Report aggregates a completed tally per the configured vote-aggregation
+// policy and ECC-decodes the result — the back half of Figure 2(a).
+func (s *Scanner) Report(t *Tally) (DetectReport, error) {
+	rep := DetectReport{
+		Tuples:        t.Rows,
+		Fit:           t.Fit,
+		UnknownValues: t.UnknownValues,
+		Bandwidth:     s.bw,
+	}
+	wmData := make(ecc.Bits, s.bw)
+	marginSum := 0.0
+	for i := range wmData {
+		switch s.opts.Aggregation {
+		case LastWriteWins:
+			wmData[i] = t.Last[i]
+		default:
+			if t.Votes[i].Ones == 0 && t.Votes[i].Zeros == 0 {
+				wmData[i] = ecc.Erased
+			} else {
+				wmData[i] = t.Votes[i].Winner(ecc.Zero)
+			}
+		}
+		if wmData[i] != ecc.Erased {
+			rep.PositionsFilled++
+			marginSum += t.Votes[i].Margin()
+		}
+		if wmData[i] == ecc.Erased && s.opts.ZeroUnfilled {
+			wmData[i] = ecc.Zero // paper-literal zero-initialised wm_data
+		}
+	}
+	if rep.PositionsFilled > 0 {
+		rep.MeanMargin = marginSum / float64(rep.PositionsFilled)
+	}
+
+	wm, err := s.opts.code().Decode(wmData, s.wmLen)
+	if err != nil {
+		return rep, err
+	}
+	rep.WM = wm
+	return rep, nil
+}

@@ -1,11 +1,7 @@
 package mark
 
 import (
-	"errors"
-	"fmt"
-
 	"repro/internal/ecc"
-	"repro/internal/keyhash"
 	"repro/internal/relation"
 )
 
@@ -45,82 +41,18 @@ func (d DetectReport) MatchFraction(want ecc.Bits) float64 {
 //
 // Detection never needs the original relation — only the keys, e, the
 // code, and the attribute's value domain.
+//
+// Detect is the one-chunk special case of the Scanner/Scan/Report hooks
+// in chunk.go; internal/pipeline runs the same pass across multiple
+// ranges concurrently and merges the tallies.
 func Detect(r *relation.Relation, wmLen int, opts Options) (DetectReport, error) {
-	var rep DetectReport
-	keyCol, attrCol, dom, err := opts.resolve(r, true)
+	s, err := NewScanner(r, wmLen, opts)
 	if err != nil {
-		return rep, err
+		return DetectReport{}, err
 	}
-	if wmLen <= 0 {
-		return rep, errors.New("mark: non-positive watermark length")
+	t := s.NewTally()
+	if err := s.Scan(r, 0, r.Len(), t); err != nil {
+		return DetectReport{}, err
 	}
-	n := r.Len()
-	bw := opts.bandwidth(n)
-	if bw < wmLen {
-		return rep, fmt.Errorf("%w: |wm|=%d, N/e=%d (N=%d, e=%d)",
-			ErrInsufficientBandwidth, wmLen, bw, n, opts.E)
-	}
-
-	rep.Tuples = n
-	rep.Bandwidth = bw
-	votes := make([]ecc.VoteTally, bw)
-	last := make([]uint8, bw) // for LastWriteWins
-	for i := range last {
-		last[i] = ecc.Erased
-	}
-
-	for j := 0; j < n; j++ {
-		t := r.Tuple(j)
-		keyVal := t[keyCol]
-		d1 := keyhash.HashString(opts.K1, keyVal)
-		if !keyhash.Fit(d1, opts.E) {
-			continue
-		}
-		rep.Fit++
-		idx, ok := dom.Index(t[attrCol])
-		if !ok {
-			rep.UnknownValues++
-			continue
-		}
-		pos := int(keyhash.HashString(opts.K2, keyVal).Mod(uint64(bw)))
-		bit := uint8(idx & 1)
-		if bit == ecc.One {
-			votes[pos].Ones++
-		} else {
-			votes[pos].Zeros++
-		}
-		last[pos] = bit
-	}
-
-	wmData := make(ecc.Bits, bw)
-	marginSum := 0.0
-	for i := range wmData {
-		switch opts.Aggregation {
-		case LastWriteWins:
-			wmData[i] = last[i]
-		default:
-			if votes[i].Ones == 0 && votes[i].Zeros == 0 {
-				wmData[i] = ecc.Erased
-			} else {
-				wmData[i] = votes[i].Winner(ecc.Zero)
-			}
-		}
-		if wmData[i] != ecc.Erased {
-			rep.PositionsFilled++
-			marginSum += votes[i].Margin()
-		}
-		if wmData[i] == ecc.Erased && opts.ZeroUnfilled {
-			wmData[i] = ecc.Zero // paper-literal zero-initialised wm_data
-		}
-	}
-	if rep.PositionsFilled > 0 {
-		rep.MeanMargin = marginSum / float64(rep.PositionsFilled)
-	}
-
-	wm, err := opts.code().Decode(wmData, wmLen)
-	if err != nil {
-		return rep, err
-	}
-	rep.WM = wm
-	return rep, nil
+	return s.Report(t)
 }

@@ -1,12 +1,7 @@
 package mark
 
 import (
-	"errors"
-	"fmt"
-
 	"repro/internal/ecc"
-	"repro/internal/keyhash"
-	"repro/internal/quality"
 	"repro/internal/relation"
 )
 
@@ -47,75 +42,15 @@ func (s EmbedStats) AlterationRate() float64 {
 // Embed watermarks r in place per Figure 1(a). wm must be non-empty 0/1
 // bits. Returns statistics; r is modified unless an error occurs before
 // any alteration (bandwidth and argument validation happen first).
+//
+// Embed is the one-chunk special case of the Embedder/EmbedRange hooks in
+// chunk.go; internal/pipeline runs the same pass across multiple ranges
+// concurrently.
 func Embed(r *relation.Relation, wm ecc.Bits, opts Options) (EmbedStats, error) {
-	var stats EmbedStats
-	keyCol, attrCol, dom, err := opts.resolve(r, true)
+	e, err := NewEmbedder(r, wm, opts)
 	if err != nil {
-		return stats, err
+		return EmbedStats{}, err
 	}
-	if len(wm) == 0 {
-		return stats, errors.New("mark: empty watermark")
-	}
-	n := r.Len()
-	bw := opts.bandwidth(n)
-	if bw < len(wm) {
-		return stats, fmt.Errorf("%w: |wm|=%d, N/e=%d (N=%d, e=%d)",
-			ErrInsufficientBandwidth, len(wm), bw, n, opts.E)
-	}
-	wmData, err := opts.code().Encode(wm, bw)
-	if err != nil {
-		return stats, err
-	}
-
-	stats.Tuples = n
-	stats.Bandwidth = bw
-	touched := make(map[int]bool)
-
-	for j := 0; j < n; j++ {
-		t := r.Tuple(j)
-		keyVal := t[keyCol]
-		d1 := keyhash.HashString(opts.K1, keyVal)
-		if !keyhash.Fit(d1, opts.E) {
-			continue
-		}
-		stats.Fit++
-		if opts.SkipRow != nil && opts.SkipRow(j) {
-			stats.SkippedLedger++
-			continue
-		}
-		pos := int(keyhash.HashString(opts.K2, keyVal).Mod(uint64(bw)))
-		bit := uint64(wmData[pos])
-		// Value-index selection: an independent digest word drives the
-		// pseudorandom pair choice so the mod-e fitness constraint on
-		// word 0 cannot bias it (DESIGN.md clarification 1).
-		idx := keyhash.PairIndex(d1.Uint64At(1), dom.Size(), bit)
-		newVal := dom.Value(idx)
-		old := t[attrCol]
-		if old == newVal {
-			stats.Unchanged++
-			touched[pos] = true
-			continue
-		}
-		if opts.Assessor != nil {
-			if aerr := opts.Assessor.Apply(r, j, opts.Attr, newVal); aerr != nil {
-				var verr *quality.ViolationError
-				if errors.As(aerr, &verr) {
-					stats.SkippedQuality++
-					continue
-				}
-				return stats, aerr
-			}
-		} else {
-			if serr := r.SetValue(j, opts.Attr, newVal); serr != nil {
-				return stats, serr
-			}
-		}
-		stats.Altered++
-		touched[pos] = true
-		if opts.OnAlter != nil {
-			opts.OnAlter(j)
-		}
-	}
-	stats.PositionsTouched = len(touched)
-	return stats, nil
+	cs, err := e.EmbedRange(r, 0, r.Len())
+	return MergeChunks(cs), err
 }

@@ -135,45 +135,51 @@ func (o *Options) code() ecc.Code {
 	return ecc.MajorityCode{}
 }
 
-// keyAttr resolves the key attribute name against the schema.
-func (o *Options) keyAttr(r *relation.Relation) string {
-	if o.KeyAttr != "" {
-		return o.KeyAttr
-	}
-	return r.Schema().KeyName()
-}
-
-// resolve validates the options against a relation and returns the key and
-// attribute column indices plus the effective domain.
-func (o *Options) resolve(r *relation.Relation, needK2 bool) (keyCol, attrCol int, dom *relation.Domain, err error) {
+// resolveCols validates keys and resolves attribute names against a
+// schema. The key attribute defaults to the schema's primary key.
+func (o *Options) resolveCols(s *relation.Schema, needK2 bool) (keyCol, attrCol int, err error) {
 	if err := o.K1.Validate(); err != nil {
-		return 0, 0, nil, fmt.Errorf("mark: k1: %w", err)
+		return 0, 0, fmt.Errorf("mark: k1: %w", err)
 	}
 	if needK2 {
 		if err := o.K2.Validate(); err != nil {
-			return 0, 0, nil, fmt.Errorf("mark: k2: %w", err)
+			return 0, 0, fmt.Errorf("mark: k2: %w", err)
 		}
 		if string(o.K1) == string(o.K2) {
-			return 0, 0, nil, ErrSameKeys
+			return 0, 0, ErrSameKeys
 		}
 	}
 	if o.E == 0 {
-		return 0, 0, nil, errors.New("mark: fitness parameter e must be positive")
+		return 0, 0, errors.New("mark: fitness parameter e must be positive")
 	}
-	kName := o.keyAttr(r)
-	keyCol, ok := r.Schema().Index(kName)
+	kName := o.KeyAttr
+	if kName == "" {
+		kName = s.KeyName()
+	}
+	keyCol, ok := s.Index(kName)
 	if !ok {
-		return 0, 0, nil, fmt.Errorf("mark: key attribute %q not in schema", kName)
+		return 0, 0, fmt.Errorf("mark: key attribute %q not in schema", kName)
 	}
 	if o.Attr == "" {
-		return 0, 0, nil, errors.New("mark: no categorical attribute named")
+		return 0, 0, errors.New("mark: no categorical attribute named")
 	}
-	attrCol, ok = r.Schema().Index(o.Attr)
+	attrCol, ok = s.Index(o.Attr)
 	if !ok {
-		return 0, 0, nil, fmt.Errorf("mark: attribute %q not in schema", o.Attr)
+		return 0, 0, fmt.Errorf("mark: attribute %q not in schema", o.Attr)
 	}
 	if keyCol == attrCol {
-		return 0, 0, nil, fmt.Errorf("mark: key and watermarked attribute are both %q", o.Attr)
+		return 0, 0, fmt.Errorf("mark: key and watermarked attribute are both %q", o.Attr)
+	}
+	return keyCol, attrCol, nil
+}
+
+// resolve validates the options against a relation and returns the key and
+// attribute column indices plus the effective domain (derived from the
+// data when Options.Domain is nil).
+func (o *Options) resolve(r *relation.Relation, needK2 bool) (keyCol, attrCol int, dom *relation.Domain, err error) {
+	keyCol, attrCol, err = o.resolveCols(r.Schema(), needK2)
+	if err != nil {
+		return 0, 0, nil, err
 	}
 	dom = o.Domain
 	if dom == nil {
@@ -186,6 +192,23 @@ func (o *Options) resolve(r *relation.Relation, needK2 bool) (keyCol, attrCol in
 		return 0, 0, nil, ErrDomainTooSmall
 	}
 	return keyCol, attrCol, dom, nil
+}
+
+// resolveSchema validates the options against a bare schema, for row
+// streams where no relation exists to derive a domain from:
+// Options.Domain is mandatory.
+func (o *Options) resolveSchema(s *relation.Schema, needK2 bool) (keyCol, attrCol int, dom *relation.Domain, err error) {
+	keyCol, attrCol, err = o.resolveCols(s, needK2)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	if o.Domain == nil {
+		return 0, 0, nil, errors.New("mark: streaming passes require an explicit Domain (no data to derive it from)")
+	}
+	if o.Domain.Size() < 2 {
+		return 0, 0, nil, ErrDomainTooSmall
+	}
+	return keyCol, attrCol, o.Domain, nil
 }
 
 // Bandwidth returns |wm_data| = N/e for a relation of n tuples, the

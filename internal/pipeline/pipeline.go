@@ -1,0 +1,196 @@
+// Package pipeline executes watermark embedding and detection as chunked,
+// worker-pool passes. The codec of internal/mark decides everything per
+// tuple from the tuple's own key, so a relation partitions cleanly into
+// contiguous key-ranges that workers process independently on
+// runtime.NumCPU() goroutines; per-chunk results merge into exactly what
+// the sequential pass would produce (bit-identical recovered watermarks —
+// see the equivalence tests). stream.go adds the same machinery over
+// relation.RowReader streams so datasets never need to be fully
+// materialized.
+//
+// This is the execution engine behind core.Spec.Workers, wmtool -parallel
+// and the wmserver handlers.
+package pipeline
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/ecc"
+	"repro/internal/mark"
+	"repro/internal/relation"
+)
+
+// Config sizes the worker pool.
+type Config struct {
+	// Workers is the number of concurrent workers. 0 or negative means
+	// runtime.NumCPU().
+	Workers int
+	// ChunkRows is the number of rows per chunk. 0 derives a chunk size
+	// that gives each worker several chunks (for tail balancing) without
+	// dropping below MinChunkRows.
+	ChunkRows int
+}
+
+// MinChunkRows is the floor for derived chunk sizes: below this the
+// per-chunk bookkeeping (a bandwidth-sized tally or touched-set per
+// chunk) outweighs the scan work.
+const MinChunkRows = 1024
+
+// chunksPerWorker is the oversubscription factor for derived chunk sizes;
+// several chunks per worker smooths uneven fitness density across ranges.
+const chunksPerWorker = 4
+
+func (c Config) workers() int {
+	if c.Workers <= 0 {
+		return runtime.NumCPU()
+	}
+	return c.Workers
+}
+
+func (c Config) chunkRows(n, workers int) int {
+	if c.ChunkRows > 0 {
+		return c.ChunkRows
+	}
+	per := n / (workers * chunksPerWorker)
+	if per < MinChunkRows {
+		per = MinChunkRows
+	}
+	return per
+}
+
+// chunkRange is one [Lo, Hi) row range of a partitioned relation.
+type chunkRange struct {
+	Index  int
+	Lo, Hi int
+}
+
+// partition splits n rows into contiguous ranges of about chunkRows rows.
+func partition(n, chunkRows int) []chunkRange {
+	if n == 0 {
+		return []chunkRange{{Index: 0, Lo: 0, Hi: 0}}
+	}
+	var out []chunkRange
+	for lo := 0; lo < n; lo += chunkRows {
+		hi := lo + chunkRows
+		if hi > n {
+			hi = n
+		}
+		out = append(out, chunkRange{Index: len(out), Lo: lo, Hi: hi})
+	}
+	return out
+}
+
+// runChunks fans worker goroutines over the chunks, calling work for each;
+// results land in a slice indexed by chunk. The first error wins.
+func runChunks[T any](workers int, chunks []chunkRange, work func(chunkRange) (T, error)) ([]T, error) {
+	results := make([]T, len(chunks))
+	errs := make([]error, len(chunks))
+	if workers > len(chunks) {
+		workers = len(chunks)
+	}
+	jobs := make(chan chunkRange)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for c := range jobs {
+				results[c.Index], errs[c.Index] = work(c)
+			}
+		}()
+	}
+	for _, c := range chunks {
+		jobs <- c
+	}
+	close(jobs)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// Embed watermarks r in place like mark.Embed, but processes key-range
+// chunks on a worker pool. The result is equivalent to the sequential
+// pass: the same tuples are altered to the same values (each decision
+// depends only on the tuple's own key), and the merged statistics match.
+//
+// Quality-gated embedding is inherently sequential — the assessor's
+// alteration budget makes later decisions depend on earlier ones — so
+// when opts.Assessor, opts.SkipRow or opts.OnAlter is set (or one worker
+// is requested) Embed falls back to mark.Embed. Likewise when the
+// watermarked attribute is the schema's primary key (a Section 3.3
+// pairwise embedding with KeyAttr overridden): rewriting key values
+// mutates the relation's shared key index, which concurrent workers
+// cannot do safely.
+func Embed(r *relation.Relation, wm ecc.Bits, opts mark.Options, cfg Config) (mark.EmbedStats, error) {
+	workers := cfg.workers()
+	if workers == 1 || opts.Assessor != nil || opts.SkipRow != nil || opts.OnAlter != nil ||
+		attrIsPrimaryKey(r, opts.Attr) {
+		return mark.Embed(r, wm, opts)
+	}
+	em, err := mark.NewEmbedder(r, wm, opts)
+	if err != nil {
+		return mark.EmbedStats{}, err
+	}
+	chunks := partition(r.Len(), cfg.chunkRows(r.Len(), workers))
+	parts, err := runChunks(workers, chunks, func(c chunkRange) (mark.ChunkStats, error) {
+		return em.EmbedRange(r, c.Lo, c.Hi)
+	})
+	if err != nil {
+		return mark.EmbedStats{}, err
+	}
+	return mark.MergeChunks(parts...), nil
+}
+
+// Detect recovers a watermark like mark.Detect, but scans key-range
+// chunks on a worker pool and merges the per-chunk vote tallies in scan
+// order before aggregating and decoding once. The recovered bit string is
+// bit-identical to the sequential pass for both vote-aggregation
+// policies; the suspect relation is never modified.
+func Detect(r *relation.Relation, wmLen int, opts mark.Options, cfg Config) (mark.DetectReport, error) {
+	workers := cfg.workers()
+	if workers == 1 {
+		return mark.Detect(r, wmLen, opts)
+	}
+	sc, err := mark.NewScanner(r, wmLen, opts)
+	if err != nil {
+		return mark.DetectReport{}, err
+	}
+	chunks := partition(r.Len(), cfg.chunkRows(r.Len(), workers))
+	parts, err := runChunks(workers, chunks, func(c chunkRange) (*mark.Tally, error) {
+		t := sc.NewTally()
+		if err := sc.Scan(r, c.Lo, c.Hi, t); err != nil {
+			return nil, err
+		}
+		return t, nil
+	})
+	if err != nil {
+		return mark.DetectReport{}, err
+	}
+	total := parts[0]
+	for _, t := range parts[1:] {
+		total.Merge(t)
+	}
+	return sc.Report(total)
+}
+
+// attrIsPrimaryKey reports whether attr is the relation's primary key —
+// the one column whose rewrites touch the shared key index.
+func attrIsPrimaryKey(r *relation.Relation, attr string) bool {
+	i, ok := r.Schema().Index(attr)
+	return ok && i == r.Schema().KeyIndex()
+}
+
+// validateChunkable rejects option combinations the chunked paths cannot
+// honor; shared by the streaming entry points.
+func validateChunkable(opts mark.Options, verb string) error {
+	if opts.Assessor != nil || opts.SkipRow != nil || opts.OnAlter != nil {
+		return fmt.Errorf("pipeline: streaming %s cannot honor Assessor/SkipRow/OnAlter (order-dependent hooks)", verb)
+	}
+	return nil
+}

@@ -1,0 +1,326 @@
+package pipeline
+
+import (
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/ecc"
+	"repro/internal/keyhash"
+	"repro/internal/mark"
+	"repro/internal/quality"
+	"repro/internal/relation"
+)
+
+func testData(t testing.TB, n int) (*relation.Relation, *relation.Domain) {
+	t.Helper()
+	r, dom, err := datagen.ItemScan(datagen.ItemScanConfig{
+		N: n, CatalogSize: 300, ZipfS: 1.0, Seed: "pipeline-test",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, dom
+}
+
+func testOptions(dom *relation.Domain) mark.Options {
+	return mark.Options{
+		Attr:   "Item_Nbr",
+		K1:     keyhash.NewKey("pipeline-k1"),
+		K2:     keyhash.NewKey("pipeline-k2"),
+		E:      30,
+		Domain: dom,
+	}
+}
+
+// TestParallelEmbedEqualsSequential is the embed half of the acceptance
+// criterion: the parallel pass must rewrite exactly the tuples the
+// sequential pass rewrites, to the same values, with matching stats.
+func TestParallelEmbedEqualsSequential(t *testing.T) {
+	wm := ecc.MustParseBits("1011001110")
+	seqRel, dom := testData(t, 20000)
+	opts := testOptions(dom)
+
+	parRel := seqRel.Clone()
+	seqStats, err := mark.Embed(seqRel, wm, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cfg := range []Config{
+		{Workers: 2},
+		{Workers: 4, ChunkRows: 333},
+		{Workers: 16, ChunkRows: 100},
+	} {
+		work := parRel.Clone()
+		parStats, err := Embed(work, wm, opts, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !seqRel.Equal(work) {
+			t.Fatalf("cfg %+v: parallel embed altered different tuples", cfg)
+		}
+		if parStats != seqStats {
+			t.Fatalf("cfg %+v: stats diverge:\nseq: %+v\npar: %+v", cfg, seqStats, parStats)
+		}
+	}
+}
+
+// TestParallelDetectBitIdentical is the detect half of the acceptance
+// criterion: parallel detection must recover a bit-identical watermark to
+// the sequential core path on the same seeded relation.
+func TestParallelDetectBitIdentical(t *testing.T) {
+	wm := ecc.MustParseBits("1011001110")
+	r, dom := testData(t, 20000)
+	opts := testOptions(dom)
+	if _, err := mark.Embed(r, wm, opts); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, agg := range []mark.VoteAggregation{mark.MajorityVote, mark.LastWriteWins} {
+		opts.Aggregation = agg
+		seq, err := mark.Detect(r, len(wm), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq.WM.String() != wm.String() {
+			t.Fatalf("%v: sequential path lost the watermark: %s", agg, seq.WM)
+		}
+		for _, cfg := range []Config{
+			{Workers: 2},
+			{Workers: 4, ChunkRows: 251},
+			{Workers: 16, ChunkRows: 64},
+		} {
+			par, err := Detect(r, len(wm), opts, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if par.WM.String() != seq.WM.String() {
+				t.Fatalf("%v cfg %+v: parallel detected %s, sequential %s", agg, cfg, par.WM, seq.WM)
+			}
+			if !reflect.DeepEqual(par, seq) {
+				t.Fatalf("%v cfg %+v: reports diverge:\nseq: %+v\npar: %+v", agg, cfg, seq, par)
+			}
+		}
+	}
+}
+
+// TestEmbedAssessorFallsBackSequential: quality budgets are
+// order-dependent, so the pipeline must produce the sequential result
+// even when asked for many workers.
+func TestEmbedAssessorFallsBackSequential(t *testing.T) {
+	wm := ecc.MustParseBits("1011001110")
+	seqRel, dom := testData(t, 8000)
+	parRel := seqRel.Clone()
+	opts := testOptions(dom)
+
+	mk := func(r *relation.Relation) mark.Options {
+		o := opts
+		o.Assessor = quality.NewAssessor(quality.MaxAlterationFraction(0.005, r.Len()))
+		return o
+	}
+	seqStats, err := mark.Embed(seqRel, wm, mk(seqRel))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parStats, err := Embed(parRel, wm, mk(parRel), Config{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !seqRel.Equal(parRel) || parStats != seqStats {
+		t.Fatalf("assessor path diverged from sequential:\nseq: %+v\npar: %+v", seqStats, parStats)
+	}
+	if parStats.SkippedQuality == 0 {
+		t.Fatal("test budget never bound — assessor fallback untested")
+	}
+}
+
+// TestEmbedPrimaryKeyAttrFallsBackSequential: a Section 3.3 pairwise
+// embedding can override KeyAttr and watermark the schema's primary key;
+// rewriting key values mutates the relation's shared key index, so the
+// pipeline must run that case sequentially (concurrent workers would
+// race on the index map — run with -race).
+func TestEmbedPrimaryKeyAttrFallsBackSequential(t *testing.T) {
+	// Fresh replacement values, so key rewrites never collide.
+	fresh := make([]string, 64)
+	for i := range fresh {
+		fresh[i] = "R" + strconv.Itoa(i)
+	}
+	dom, err := relation.NewDomain(fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func() *relation.Relation {
+		r, _ := testData(t, 8000)
+		return r
+	}
+	opts := mark.Options{
+		KeyAttr: "Item_Nbr",  // non-key column acts as K...
+		Attr:    "Visit_Nbr", // ...and the primary key is rewritten
+		K1:      keyhash.NewKey("pk-k1"),
+		K2:      keyhash.NewKey("pk-k2"),
+		E:       30,
+		Domain:  dom,
+	}
+	wm := ecc.MustParseBits("101")
+
+	seqRel := mk()
+	seqStats, seqErr := mark.Embed(seqRel, wm, opts)
+	parRel := mk()
+	parStats, parErr := Embed(parRel, wm, opts, Config{Workers: 8, ChunkRows: 100})
+	if (seqErr == nil) != (parErr == nil) {
+		t.Fatalf("error divergence: seq %v, par %v", seqErr, parErr)
+	}
+	if seqErr == nil {
+		if !seqRel.Equal(parRel) {
+			t.Fatal("primary-key embedding diverged from sequential")
+		}
+		if parStats != seqStats {
+			t.Fatalf("stats diverge:\nseq: %+v\npar: %+v", seqStats, parStats)
+		}
+	}
+}
+
+func TestEmbedReaderMatchesMaterialized(t *testing.T) {
+	wm := ecc.MustParseBits("1011001110")
+	matRel, dom := testData(t, 12000)
+	opts := testOptions(dom)
+
+	// Render the pristine relation to CSV, then stream-embed it.
+	var in strings.Builder
+	if err := relation.WriteCSV(&in, matRel); err != nil {
+		t.Fatal(err)
+	}
+	matStats, err := mark.Embed(matRel, wm, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sOpts := opts
+	sOpts.BandwidthOverride = matStats.Bandwidth
+	src, err := relation.NewCSVRowReader(strings.NewReader(in.String()), matRel.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	dst, err := relation.NewCSVRowWriter(&out, matRel.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamStats, err := EmbedReader(src, dst, wm, sOpts, Config{Workers: 4, ChunkRows: 777})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if streamStats != matStats {
+		t.Fatalf("stats diverge:\nmat:    %+v\nstream: %+v", matStats, streamStats)
+	}
+	got, err := relation.ReadCSV(strings.NewReader(out.String()), matRel.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matRel.Equal(got) {
+		t.Fatal("streamed embed emitted different rows than the materialized pass")
+	}
+}
+
+func TestDetectReaderMatchesMaterialized(t *testing.T) {
+	wm := ecc.MustParseBits("1011001110")
+	r, dom := testData(t, 12000)
+	opts := testOptions(dom)
+	st, err := mark.Embed(r, wm, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := mark.Detect(r, len(wm), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var in strings.Builder
+	if err := relation.WriteJSONL(&in, r); err != nil {
+		t.Fatal(err)
+	}
+	sOpts := opts
+	sOpts.BandwidthOverride = st.Bandwidth
+	src := relation.NewJSONLRowReader(strings.NewReader(in.String()), r.Schema())
+	rep, err := DetectReader(src, len(wm), sOpts, Config{Workers: 4, ChunkRows: 997})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.WM.String() != seq.WM.String() {
+		t.Fatalf("stream detected %s, sequential %s", rep.WM, seq.WM)
+	}
+	if !reflect.DeepEqual(rep, seq) {
+		t.Fatalf("reports diverge:\nseq:    %+v\nstream: %+v", seq, rep)
+	}
+}
+
+func TestStreamPropagatesReadErrors(t *testing.T) {
+	_, dom := testData(t, 100)
+	opts := testOptions(dom)
+	opts.BandwidthOverride = 64
+	schema := datagen.ItemScanSchema()
+
+	// Truncated quoted field: the reader fails mid-stream.
+	in := "Visit_Nbr,Item_Nbr\n1,10\n\"2,11\n"
+	src, err := relation.NewCSVRowReader(strings.NewReader(in), schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DetectReader(src, 3, opts, Config{Workers: 2, ChunkRows: 1}); err == nil {
+		t.Fatal("malformed stream accepted")
+	}
+}
+
+func TestStreamRejectsOrderDependentHooks(t *testing.T) {
+	_, dom := testData(t, 100)
+	opts := testOptions(dom)
+	opts.BandwidthOverride = 64
+	opts.SkipRow = func(int) bool { return false }
+	schema := datagen.ItemScanSchema()
+	src, err := relation.NewCSVRowReader(strings.NewReader("Visit_Nbr,Item_Nbr\n1,10\n"), schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DetectReader(src, 3, opts, Config{}); err == nil {
+		t.Fatal("order-dependent hook accepted by streaming path")
+	}
+	var out strings.Builder
+	dst, err := relation.NewCSVRowWriter(&out, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := EmbedReader(src, dst, ecc.MustParseBits("101"), opts, Config{}); err == nil {
+		t.Fatal("order-dependent hook accepted by streaming embed")
+	}
+}
+
+func TestPartition(t *testing.T) {
+	cases := []struct {
+		n, chunk int
+		want     int
+	}{
+		{0, 100, 1},
+		{1, 100, 1},
+		{100, 100, 1},
+		{101, 100, 2},
+		{1000, 100, 10},
+	}
+	for _, c := range cases {
+		got := partition(c.n, c.chunk)
+		if len(got) != c.want {
+			t.Errorf("partition(%d, %d): %d chunks, want %d", c.n, c.chunk, len(got), c.want)
+		}
+		covered := 0
+		for i, ch := range got {
+			if ch.Index != i {
+				t.Errorf("partition(%d, %d): chunk %d has index %d", c.n, c.chunk, i, ch.Index)
+			}
+			covered += ch.Hi - ch.Lo
+		}
+		if covered != c.n {
+			t.Errorf("partition(%d, %d): covers %d rows", c.n, c.chunk, covered)
+		}
+	}
+}

@@ -1,0 +1,215 @@
+package pipeline
+
+import (
+	"io"
+	"sync"
+
+	"repro/internal/ecc"
+	"repro/internal/mark"
+	"repro/internal/relation"
+)
+
+// Streaming ingestion: the same chunked worker pool, fed from a
+// relation.RowReader instead of a materialized relation. Rows are
+// buffered into chunk-sized mini-relations; workers embed or scan each
+// chunk while the reader fills the next, and a single collector consumes
+// results in chunk order (so LastWriteWins detection and output row order
+// match the sequential pass). Memory is bounded by
+// workers × chunk size, never by the dataset.
+//
+// Because the stream's length is unknown up front, both entry points
+// require Options.BandwidthOverride (the embedding-time |wm_data|) and
+// Options.Domain (the value catalog) — exactly the parameters that travel
+// in a core.Record. Primary-key uniqueness is enforced only within a
+// chunk; a stream with duplicate keys across chunks is the caller's
+// responsibility, as detecting it would require materializing the key
+// set.
+
+// StreamChunkRows is the default chunk size for streaming passes.
+const StreamChunkRows = 8192
+
+func (c Config) streamChunkRows() int {
+	if c.ChunkRows > 0 {
+		return c.ChunkRows
+	}
+	return StreamChunkRows
+}
+
+// streamJob is one chunk travelling through the streaming pool: the
+// mini-relation plus a rendezvous channel its result comes back on.
+type streamJob[T any] struct {
+	rel *relation.Relation
+	res chan streamResult[T]
+}
+
+type streamResult[T any] struct {
+	val T
+	err error
+}
+
+// runStream reads chunk mini-relations from src and routes each through
+// work on a pool of workers, invoking collect for every chunk result in
+// stream order. It returns the first error from reading, working, or
+// collecting; a collect error stops the reader early.
+func runStream[T any](src relation.RowReader, cfg Config, work func(*relation.Relation) (T, error), collect func(T) error) error {
+	workers := cfg.workers()
+	chunkRows := cfg.streamChunkRows()
+
+	jobs := make(chan *streamJob[T], workers)
+	ordered := make(chan *streamJob[T], workers)
+	stop := make(chan struct{})
+	var stopOnce sync.Once
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for job := range jobs {
+				val, err := work(job.rel)
+				job.res <- streamResult[T]{val, err}
+			}
+		}()
+	}
+
+	var readErr error
+	go func() {
+		defer close(jobs)
+		defer close(ordered)
+		rel := relation.New(src.Schema())
+		dispatch := func() bool {
+			job := &streamJob[T]{rel: rel, res: make(chan streamResult[T], 1)}
+			select {
+			case <-stop:
+				return false
+			case jobs <- job:
+			}
+			ordered <- job
+			rel = relation.New(src.Schema())
+			return true
+		}
+		for {
+			t, err := src.Read()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				readErr = err
+				return
+			}
+			if err := rel.Append(t); err != nil {
+				readErr = err
+				return
+			}
+			if rel.Len() >= chunkRows {
+				if !dispatch() {
+					return
+				}
+			}
+		}
+		if rel.Len() > 0 {
+			dispatch()
+		}
+	}()
+
+	var firstErr error
+	for job := range ordered {
+		r := <-job.res
+		if firstErr != nil {
+			continue // drain remaining chunks
+		}
+		if r.err != nil {
+			firstErr = r.err
+		} else if err := collect(r.val); err != nil {
+			firstErr = err
+		}
+		if firstErr != nil {
+			stopOnce.Do(func() { close(stop) })
+		}
+	}
+	wg.Wait()
+	if readErr != nil && firstErr == nil {
+		firstErr = readErr
+	}
+	return firstErr
+}
+
+// EmbedReader streams rows from src, watermarks them chunk-by-chunk on a
+// worker pool, and writes the (possibly rewritten) rows to dst in input
+// order. Requires opts.Domain and opts.BandwidthOverride — with an
+// unknown stream length there is no N to derive either from. The emitted
+// rows are identical to what a materialized mark.Embed pass would
+// produce under the same bandwidth and domain.
+func EmbedReader(src relation.RowReader, dst relation.RowWriter, wm ecc.Bits, opts mark.Options, cfg Config) (mark.EmbedStats, error) {
+	if err := validateChunkable(opts, "embed"); err != nil {
+		return mark.EmbedStats{}, err
+	}
+	em, err := mark.NewStreamEmbedder(src.Schema(), wm, opts)
+	if err != nil {
+		return mark.EmbedStats{}, err
+	}
+	var agg mark.ChunkStats
+	err = runStream(src, cfg,
+		func(rel *relation.Relation) (*streamEmbedOut, error) {
+			cs, err := em.EmbedRange(rel, 0, rel.Len())
+			if err != nil {
+				return nil, err
+			}
+			return &streamEmbedOut{rel: rel, cs: cs}, nil
+		},
+		func(out *streamEmbedOut) error {
+			for i := 0; i < out.rel.Len(); i++ {
+				if err := dst.Write(out.rel.Tuple(i)); err != nil {
+					return err
+				}
+			}
+			agg.Add(out.cs)
+			return nil
+		})
+	if err != nil {
+		return mark.EmbedStats{}, err
+	}
+	if err := dst.Flush(); err != nil {
+		return mark.EmbedStats{}, err
+	}
+	st := mark.MergeChunks(agg)
+	st.Bandwidth = em.Bandwidth() // an empty stream still has a fixed |wm_data|
+	return st, nil
+}
+
+type streamEmbedOut struct {
+	rel *relation.Relation
+	cs  mark.ChunkStats
+}
+
+// DetectReader streams rows from src and recovers a wmLen-bit watermark,
+// scanning chunks on a worker pool and merging vote tallies in stream
+// order. Requires opts.Domain and opts.BandwidthOverride. The recovered
+// bit string is bit-identical to running mark.Detect over the
+// materialized stream with the same parameters.
+func DetectReader(src relation.RowReader, wmLen int, opts mark.Options, cfg Config) (mark.DetectReport, error) {
+	if err := validateChunkable(opts, "detect"); err != nil {
+		return mark.DetectReport{}, err
+	}
+	sc, err := mark.NewStreamScanner(src.Schema(), wmLen, opts)
+	if err != nil {
+		return mark.DetectReport{}, err
+	}
+	total := sc.NewTally()
+	err = runStream(src, cfg,
+		func(rel *relation.Relation) (*mark.Tally, error) {
+			t := sc.NewTally()
+			if err := sc.Scan(rel, 0, rel.Len(), t); err != nil {
+				return nil, err
+			}
+			return t, nil
+		},
+		func(t *mark.Tally) error {
+			total.Merge(t)
+			return nil
+		})
+	if err != nil {
+		return mark.DetectReport{}, err
+	}
+	return sc.Report(total)
+}

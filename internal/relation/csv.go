@@ -108,49 +108,13 @@ func WriteCSV(w io.Writer, r *Relation) error {
 
 // ReadCSV reads a relation under the given schema. The CSV header must
 // name exactly the schema's attributes; column order in the file may
-// differ from schema order and is mapped by name.
+// differ from schema order and is mapped by name. It is the materializing
+// loop over CSVRowReader (rowio.go); use the row reader directly to
+// stream without holding the whole relation.
 func ReadCSV(rd io.Reader, schema *Schema) (*Relation, error) {
-	cr := csv.NewReader(rd)
-	cr.FieldsPerRecord = schema.Arity()
-	header, err := cr.Read()
+	rr, err := NewCSVRowReader(rd, schema)
 	if err != nil {
-		return nil, fmt.Errorf("relation: reading CSV header: %w", err)
+		return nil, err
 	}
-	colFor := make([]int, len(header)) // file column -> schema position
-	seen := make(map[string]bool, len(header))
-	for fileCol, name := range header {
-		pos, ok := schema.Index(name)
-		if !ok {
-			return nil, fmt.Errorf("relation: CSV column %q not in schema", name)
-		}
-		if seen[name] {
-			return nil, fmt.Errorf("relation: duplicate CSV column %q", name)
-		}
-		seen[name] = true
-		colFor[fileCol] = pos
-	}
-	if len(seen) != schema.Arity() {
-		return nil, fmt.Errorf("relation: CSV header has %d of %d schema attributes",
-			len(seen), schema.Arity())
-	}
-	out := New(schema)
-	row := 1
-	for {
-		rec, err := cr.Read()
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
-			return nil, fmt.Errorf("relation: reading CSV row %d: %w", row, err)
-		}
-		t := make(Tuple, schema.Arity())
-		for fileCol, v := range rec {
-			t[colFor[fileCol]] = v
-		}
-		if err := out.Append(t); err != nil {
-			return nil, fmt.Errorf("relation: CSV row %d: %w", row, err)
-		}
-		row++
-	}
-	return out, nil
+	return ReadAll(rr)
 }

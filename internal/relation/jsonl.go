@@ -37,34 +37,7 @@ func WriteJSONL(w io.Writer, r *Relation) error {
 // ReadJSONL reads a relation under the given schema from JSON lines.
 // Every object must supply exactly the schema's attributes; extra or
 // missing keys are errors, as silent column loss would corrupt watermark
-// detection.
+// detection. It is the materializing loop over JSONLRowReader (rowio.go).
 func ReadJSONL(rd io.Reader, schema *Schema) (*Relation, error) {
-	out := New(schema)
-	dec := json.NewDecoder(rd)
-	row := 0
-	for {
-		var obj map[string]string
-		if err := dec.Decode(&obj); err == io.EOF {
-			break
-		} else if err != nil {
-			return nil, fmt.Errorf("relation: reading JSONL row %d: %w", row, err)
-		}
-		if len(obj) != schema.Arity() {
-			return nil, fmt.Errorf("relation: JSONL row %d has %d keys, schema has %d",
-				row, len(obj), schema.Arity())
-		}
-		t := make(Tuple, schema.Arity())
-		for name, v := range obj {
-			pos, ok := schema.Index(name)
-			if !ok {
-				return nil, fmt.Errorf("relation: JSONL row %d key %q not in schema", row, name)
-			}
-			t[pos] = v
-		}
-		if err := out.Append(t); err != nil {
-			return nil, fmt.Errorf("relation: JSONL row %d: %w", row, err)
-		}
-		row++
-	}
-	return out, nil
+	return ReadAll(NewJSONLRowReader(rd, schema))
 }

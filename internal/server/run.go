@@ -1,0 +1,63 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro/internal/server/store"
+)
+
+// Run is the shared bootstrap behind cmd/wmserver and `wmtool serve`: it
+// opens the certificate store at storeDir, serves the API on addr, and on
+// SIGINT/SIGTERM drains in-flight requests before returning — embed and
+// verify jobs are never hard-killed mid-write.
+func Run(addr, storeDir string, cfg Config) error {
+	st, err := store.Open(storeDir)
+	if err != nil {
+		return err
+	}
+	if cfg.Log == nil {
+		cfg.Log = log.New(os.Stderr, "wmserver: ", log.LstdFlags)
+	}
+	srv := New(st, cfg)
+	httpSrv := &http.Server{
+		Addr:              addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	cfg.Log.Printf("listening on %s (store %s, %d workers)", addr, storeDir, workers)
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+	select {
+	case err := <-errCh:
+		return err
+	case s := <-sig:
+		cfg.Log.Printf("received %v, shutting down", s)
+		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			return err
+		}
+		if err := <-errCh; !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		return nil
+	}
+}

@@ -1,0 +1,423 @@
+// Package server exposes the watermarking system as a JSON HTTP service —
+// the corpus-scale front door the CLI cannot be: many embed/verify jobs
+// running concurrently, each internally parallelized by the chunked
+// worker pool of internal/pipeline, with certificates persisted in an
+// on-disk record store.
+//
+// Endpoints:
+//
+//	POST   /v1/watermark     embed a watermark, persist the certificate
+//	POST   /v1/verify        verify a suspect against a stored or inline certificate
+//	GET    /v1/records       list stored certificate IDs
+//	GET    /v1/records/{id}  inspect a certificate (secret redacted)
+//	DELETE /v1/records/{id}  drop a certificate
+//	GET    /healthz          liveness probe
+//
+// Relations travel inline in request/response bodies as CSV (default) or
+// JSONL text plus the schema-spec grammar of internal/relation.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/relation"
+	"repro/internal/server/store"
+)
+
+// DefaultMaxBodyBytes bounds request bodies (relations travel inline).
+const DefaultMaxBodyBytes = 256 << 20 // 256 MiB
+
+// Config parameterises a Server.
+type Config struct {
+	// Workers is the default per-request worker count for the pipeline;
+	// <= 0 means runtime.NumCPU(). Requests may override it downward or
+	// upward with their own "workers" field.
+	Workers int
+	// MaxBodyBytes caps request body size; <= 0 means DefaultMaxBodyBytes.
+	MaxBodyBytes int64
+	// Log, when non-nil, receives one line per request.
+	Log *log.Logger
+}
+
+// Server handles the HTTP API. Create with New, serve via Handler.
+type Server struct {
+	store   *store.Store
+	cfg     Config
+	mux     *http.ServeMux
+	started time.Time
+}
+
+// New builds a Server over an opened record store.
+func New(st *store.Store, cfg Config) *Server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.NumCPU()
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	s := &Server{store: st, cfg: cfg, mux: http.NewServeMux(), started: time.Now()}
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("POST /v1/watermark", s.handleWatermark)
+	s.mux.HandleFunc("POST /v1/verify", s.handleVerify)
+	s.mux.HandleFunc("GET /v1/records", s.handleListRecords)
+	s.mux.HandleFunc("GET /v1/records/{id}", s.handleGetRecord)
+	s.mux.HandleFunc("DELETE /v1/records/{id}", s.handleDeleteRecord)
+	return s
+}
+
+// Handler returns the root handler, with body limiting and logging.
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+		s.mux.ServeHTTP(w, r)
+		if s.cfg.Log != nil {
+			s.cfg.Log.Printf("%s %s %s", r.Method, r.URL.Path, time.Since(start))
+		}
+	})
+}
+
+// apiError is the uniform error body.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // headers are out; nothing left to report
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+// decodeBody decodes a JSON request body, distinguishing a size-limit
+// rejection (413, the client can shrink and retry) from a malformed
+// request (400, retrying is pointless). Returns false after replying.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		var maxErr *http.MaxBytesError
+		if errors.As(err, &maxErr) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				"request body exceeds %d bytes", maxErr.Limit)
+			return false
+		}
+		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return false
+	}
+	return true
+}
+
+// decodeRelation parses an inline relation payload.
+func decodeRelation(schemaSpec, format, data string) (*relation.Relation, *relation.Schema, error) {
+	if schemaSpec == "" {
+		return nil, nil, errors.New("missing schema")
+	}
+	if data == "" {
+		return nil, nil, errors.New("missing data")
+	}
+	schema, err := relation.ParseSchemaSpec(schemaSpec)
+	if err != nil {
+		return nil, nil, err
+	}
+	var r *relation.Relation
+	switch strings.ToLower(format) {
+	case "", "csv":
+		r, err = relation.ReadCSV(strings.NewReader(data), schema)
+	case "jsonl":
+		r, err = relation.ReadJSONL(strings.NewReader(data), schema)
+	default:
+		return nil, nil, fmt.Errorf("unknown format %q (want csv or jsonl)", format)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	return r, schema, nil
+}
+
+// encodeRelation renders a relation back into a payload string.
+func encodeRelation(r *relation.Relation, format string) (string, error) {
+	var b strings.Builder
+	var err error
+	switch strings.ToLower(format) {
+	case "", "csv":
+		err = relation.WriteCSV(&b, r)
+	case "jsonl":
+		err = relation.WriteJSONL(&b, r)
+	default:
+		err = fmt.Errorf("unknown format %q", format)
+	}
+	return b.String(), err
+}
+
+// workersFor resolves a request's worker override against the server
+// default.
+func (s *Server) workersFor(requested int) int {
+	if requested > 0 {
+		return requested
+	}
+	return s.cfg.Workers
+}
+
+// WatermarkRequest is the POST /v1/watermark body.
+type WatermarkRequest struct {
+	// Schema is the schema-spec string, e.g.
+	// "Visit_Nbr:int!key, Item_Nbr:int:categorical".
+	Schema string `json:"schema"`
+	// Format of Data: "csv" (default) or "jsonl".
+	Format string `json:"format,omitempty"`
+	// Data is the relation payload.
+	Data string `json:"data"`
+	// Secret is the owner's master passphrase.
+	Secret string `json:"secret"`
+	// Attribute is the categorical attribute to watermark.
+	Attribute string `json:"attribute"`
+	// KeyAttr optionally overrides the key attribute.
+	KeyAttr string `json:"key_attr,omitempty"`
+	// WM is the watermark bit string.
+	WM string `json:"wm"`
+	// E is the fitness parameter (default 60).
+	E uint64 `json:"e,omitempty"`
+	// Domain optionally fixes the value catalog.
+	Domain []string `json:"domain,omitempty"`
+	// FrequencyChannel additionally embeds into the histogram.
+	FrequencyChannel bool `json:"frequency_channel,omitempty"`
+	// MaxAlterationFraction bounds total data change (0 = unlimited).
+	// Forces a sequential pass — the quality budget is order-dependent.
+	MaxAlterationFraction float64 `json:"max_alteration_fraction,omitempty"`
+	// Workers overrides the server's pipeline worker count for this job.
+	Workers int `json:"workers,omitempty"`
+}
+
+// WatermarkResponse is the POST /v1/watermark reply.
+type WatermarkResponse struct {
+	// ID is the stored certificate's identifier; pass it to /v1/verify.
+	ID string `json:"id"`
+	// Data is the watermarked relation in the request's format.
+	Data string `json:"data"`
+	// Tuples, Fit, Altered, Bandwidth summarize the embedding pass.
+	Tuples         int     `json:"tuples"`
+	Fit            int     `json:"fit"`
+	Altered        int     `json:"altered"`
+	AlterationRate float64 `json:"alteration_rate"`
+	Bandwidth      int     `json:"bandwidth"`
+	// FrequencyMoved counts tuples moved by the frequency channel.
+	FrequencyMoved int `json:"frequency_moved,omitempty"`
+}
+
+func (s *Server) handleWatermark(w http.ResponseWriter, r *http.Request) {
+	var req WatermarkRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	rel, _, err := decodeRelation(req.Schema, req.Format, req.Data)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "relation: %v", err)
+		return
+	}
+	var dom *relation.Domain
+	if len(req.Domain) > 0 {
+		if dom, err = relation.NewDomain(req.Domain); err != nil {
+			writeError(w, http.StatusBadRequest, "domain: %v", err)
+			return
+		}
+	}
+	rec, st, err := core.Watermark(rel, core.Spec{
+		Secret:                req.Secret,
+		Attribute:             req.Attribute,
+		KeyAttr:               req.KeyAttr,
+		WM:                    req.WM,
+		E:                     req.E,
+		Domain:                dom,
+		WithFrequencyChannel:  req.FrequencyChannel,
+		MaxAlterationFraction: req.MaxAlterationFraction,
+		Workers:               s.workersFor(req.Workers),
+	})
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "watermark: %v", err)
+		return
+	}
+	id, err := s.store.Put(rec)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "persisting record: %v", err)
+		return
+	}
+	data, err := encodeRelation(rel, req.Format)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "encoding result: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, WatermarkResponse{
+		ID:             id,
+		Data:           data,
+		Tuples:         st.Mark.Tuples,
+		Fit:            st.Mark.Fit,
+		Altered:        st.Mark.Altered,
+		AlterationRate: st.Mark.AlterationRate(),
+		Bandwidth:      st.Mark.Bandwidth,
+		FrequencyMoved: st.FrequencyMoved,
+	})
+}
+
+// VerifyRequest is the POST /v1/verify body. Exactly one of ID (a stored
+// certificate) or Record (an inline certificate) must be set.
+type VerifyRequest struct {
+	ID     string       `json:"id,omitempty"`
+	Record *core.Record `json:"record,omitempty"`
+	// Schema/Format/Data carry the suspect relation, as in /v1/watermark.
+	Schema  string `json:"schema"`
+	Format  string `json:"format,omitempty"`
+	Data    string `json:"data"`
+	Workers int    `json:"workers,omitempty"`
+}
+
+// VerifyResponse is the POST /v1/verify reply.
+type VerifyResponse struct {
+	// Match is the fraction of watermark bits recovered; 1.0 is perfect.
+	Match float64 `json:"match"`
+	// Detected is the recovered bit string.
+	Detected string `json:"detected"`
+	// Verdict is "present", "partial" or "absent" at the wmtool
+	// thresholds (>= 0.9, >= 0.7).
+	Verdict string `json:"verdict"`
+	// RemapRecovered notes a Section 4.5 inverse-mapping recovery.
+	RemapRecovered bool `json:"remap_recovered,omitempty"`
+	// FrequencyMatch is the secondary channel's agreement (-1 = unused).
+	FrequencyMatch float64 `json:"frequency_match"`
+	// FalsePositiveProb is the chance of a full match on unmarked data.
+	FalsePositiveProb float64 `json:"false_positive_prob"`
+}
+
+func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
+	var req VerifyRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	var rec *core.Record
+	switch {
+	case req.ID != "" && req.Record != nil:
+		writeError(w, http.StatusBadRequest, "pass either id or record, not both")
+		return
+	case req.ID != "":
+		var err error
+		rec, err = s.store.Get(req.ID)
+		if errors.Is(err, store.ErrNotFound) {
+			writeError(w, http.StatusNotFound, "%v", err)
+			return
+		} else if err != nil {
+			writeError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+	case req.Record != nil:
+		rec = req.Record
+	default:
+		writeError(w, http.StatusBadRequest, "missing certificate: pass id or record")
+		return
+	}
+	suspect, _, err := decodeRelation(req.Schema, req.Format, req.Data)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "relation: %v", err)
+		return
+	}
+	rep, err := rec.VerifyParallel(suspect, s.workersFor(req.Workers))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "verify: %v", err)
+		return
+	}
+	verdict := "absent"
+	switch {
+	case rep.Match >= 0.9:
+		verdict = "present"
+	case rep.Match >= 0.7:
+		verdict = "partial"
+	}
+	writeJSON(w, http.StatusOK, VerifyResponse{
+		Match:             rep.Match,
+		Detected:          rep.Detected,
+		Verdict:           verdict,
+		RemapRecovered:    rep.RemapRecovered,
+		FrequencyMatch:    rep.FrequencyMatch,
+		FalsePositiveProb: analysis.FalsePositiveProb(len(rec.WM)),
+	})
+}
+
+// RecordInfo is the GET /v1/records/{id} reply: the certificate's public
+// shape with the secret redacted — holders of the store's directory can
+// read the raw files, but the API never echoes secrets.
+type RecordInfo struct {
+	ID                  string `json:"id"`
+	Attribute           string `json:"attribute"`
+	KeyAttr             string `json:"key_attr,omitempty"`
+	WMBits              int    `json:"wm_bits"`
+	E                   uint64 `json:"e"`
+	Bandwidth           int    `json:"bandwidth"`
+	DomainSize          int    `json:"domain_size"`
+	HasFrequencyChannel bool   `json:"has_frequency_channel"`
+}
+
+func (s *Server) handleGetRecord(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	rec, err := s.store.Get(id)
+	if errors.Is(err, store.ErrNotFound) {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	} else if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, RecordInfo{
+		ID:                  id,
+		Attribute:           rec.Attribute,
+		KeyAttr:             rec.KeyAttr,
+		WMBits:              len(rec.WM),
+		E:                   rec.E,
+		Bandwidth:           rec.Bandwidth,
+		DomainSize:          len(rec.Domain),
+		HasFrequencyChannel: rec.HasFrequencyChannel,
+	})
+}
+
+func (s *Server) handleDeleteRecord(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	err := s.store.Delete(id)
+	if errors.Is(err, store.ErrNotFound) {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	} else if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"deleted": id})
+}
+
+func (s *Server) handleListRecords(w http.ResponseWriter, r *http.Request) {
+	ids, err := s.store.List()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	if ids == nil {
+		ids = []string{}
+	}
+	writeJSON(w, http.StatusOK, map[string][]string{"records": ids})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"uptime_seconds": int(time.Since(s.started).Seconds()),
+		"workers":        s.cfg.Workers,
+	})
+}

@@ -1,0 +1,163 @@
+// Package store persists watermark certificates (core.Record) on disk for
+// wmserver. Each record lives in its own JSON file named by a random
+// 128-bit hex ID; writes go through a temp file and an atomic rename so a
+// crash never leaves a half-written certificate, and a store-wide RWMutex
+// makes the Put/Get/List/Delete surface safe for concurrent handlers.
+//
+// Records contain the owner's secret — they are exactly as sensitive as
+// the keys themselves — so files are created 0600 and the directory 0700.
+package store
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// ErrNotFound reports a lookup for an ID the store does not hold.
+var ErrNotFound = errors.New("store: record not found")
+
+// idPattern is the shape of valid record IDs; Get/Delete reject anything
+// else before touching the filesystem, so IDs can never traverse paths.
+var idPattern = regexp.MustCompile(`^[0-9a-f]{32}$`)
+
+const recordExt = ".json"
+
+// Store is a directory of certificate files.
+type Store struct {
+	dir string
+	mu  sync.RWMutex
+}
+
+// Open creates the directory if needed and returns a store over it.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, errors.New("store: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o700); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+// NewID returns a fresh random record ID.
+func NewID() (string, error) {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "", fmt.Errorf("store: generating id: %w", err)
+	}
+	return hex.EncodeToString(b[:]), nil
+}
+
+// Put persists a record under a fresh ID and returns the ID.
+func (s *Store) Put(rec *core.Record) (string, error) {
+	id, err := NewID()
+	if err != nil {
+		return "", err
+	}
+	data, err := rec.Save()
+	if err != nil {
+		return "", fmt.Errorf("store: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tmp, err := os.CreateTemp(s.dir, "put-*")
+	if err != nil {
+		return "", fmt.Errorf("store: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return "", fmt.Errorf("store: %w", err)
+	}
+	if err := tmp.Chmod(0o600); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return "", fmt.Errorf("store: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return "", fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(tmpName, s.path(id)); err != nil {
+		os.Remove(tmpName)
+		return "", fmt.Errorf("store: %w", err)
+	}
+	return id, nil
+}
+
+// Get loads the record stored under id.
+func (s *Store) Get(id string) (*core.Record, error) {
+	if !idPattern.MatchString(id) {
+		return nil, fmt.Errorf("%w: invalid id %q", ErrNotFound, id)
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	data, err := os.ReadFile(s.path(id))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	rec, err := core.LoadRecord(data)
+	if err != nil {
+		return nil, fmt.Errorf("store: record %s: %w", id, err)
+	}
+	return rec, nil
+}
+
+// Delete removes the record stored under id.
+func (s *Store) Delete(id string) error {
+	if !idPattern.MatchString(id) {
+		return fmt.Errorf("%w: invalid id %q", ErrNotFound, id)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	err := os.Remove(s.path(id))
+	if errors.Is(err, os.ErrNotExist) {
+		return fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+// List returns the IDs of every stored record, sorted.
+func (s *Store) List() ([]string, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	var ids []string
+	for _, e := range entries {
+		name := e.Name()
+		id := strings.TrimSuffix(name, recordExt)
+		if e.IsDir() || id == name || !idPattern.MatchString(id) {
+			continue // temp files, strays
+		}
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids, nil
+}
+
+func (s *Store) path(id string) string {
+	return filepath.Join(s.dir, id+recordExt)
+}

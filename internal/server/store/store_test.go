@@ -1,0 +1,141 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func testRecord(wm string) *core.Record {
+	return &core.Record{
+		Secret:    "store-test-secret",
+		Attribute: "Item_Nbr",
+		WM:        wm,
+		E:         60,
+		Bandwidth: 128,
+		Domain:    []string{"10", "11", "12"},
+	}
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := testRecord("1011001110")
+	id, err := s.Put(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Secret != rec.Secret || got.WM != rec.WM || got.E != rec.E ||
+		got.Bandwidth != rec.Bandwidth || len(got.Domain) != len(rec.Domain) {
+		t.Fatalf("round trip mangled record: put %+v, got %+v", rec, got)
+	}
+}
+
+func TestGetUnknownAndInvalidIDs(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{
+		"00000000000000000000000000000000", // valid shape, absent
+		"../../etc/passwd",                 // traversal attempt
+		"short",
+		"",
+		"ZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZ",
+	} {
+		if _, err := s.Get(id); !errors.Is(err, ErrNotFound) {
+			t.Errorf("Get(%q): %v, want ErrNotFound", id, err)
+		}
+	}
+}
+
+func TestListAndDelete(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []string
+	for i := 0; i < 3; i++ {
+		id, err := s.Put(testRecord("101"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	listed, err := s.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(listed) != 3 {
+		t.Fatalf("listed %d records, want 3", len(listed))
+	}
+	if err := s.Delete(ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get(ids[0]); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("deleted record still readable: %v", err)
+	}
+	if err := s.Delete(ids[0]); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("double delete: %v, want ErrNotFound", err)
+	}
+	listed, err = s.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(listed) != 2 {
+		t.Fatalf("listed %d records after delete, want 2", len(listed))
+	}
+}
+
+// TestConcurrentAccess hammers the store from many goroutines; run with
+// -race in CI.
+func TestConcurrentAccess(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				id, err := s.Put(testRecord(fmt.Sprintf("10%d", g%10)))
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if _, err := s.Get(id); err != nil {
+					errCh <- err
+					return
+				}
+				if _, err := s.List(); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	ids, err := s.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 64 {
+		t.Fatalf("have %d records, want 64", len(ids))
+	}
+}
