@@ -316,3 +316,45 @@ func TestCLIParallel(t *testing.T) {
 		t.Fatalf("parallel detect output: %s", out)
 	}
 }
+
+// TestCLIBatchVerify: `verify -records a,b` audits one suspect against
+// several certificates in a single streaming scan.
+func TestCLIBatchVerify(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bins := buildCommands(t)
+	dir := t.TempDir()
+	data := filepath.Join(dir, "data.csv")
+	marked := filepath.Join(dir, "marked.csv")
+	recordA := filepath.Join(dir, "owner.json")
+	recordB := filepath.Join(dir, "bystander.json")
+
+	run(t, bins["wmdatagen"], "-dataset", "itemscan", "-n", "12000",
+		"-catalog", "300", "-seed", "batch-cli", "-out", data)
+	run(t, bins["wmtool"], "watermark", "-in", data, "-schema", itemScanSpec,
+		"-attr", "Item_Nbr", "-secret", "batch-owner", "-wm", "1011001110",
+		"-e", "40", "-out", marked, "-record", recordA)
+	// A second owner marks a throwaway copy: their certificate must NOT
+	// match the first owner's data.
+	run(t, bins["wmtool"], "watermark", "-in", data, "-schema", itemScanSpec,
+		"-attr", "Item_Nbr", "-secret", "batch-bystander", "-wm", "1011001110",
+		"-e", "40", "-out", filepath.Join(dir, "other.csv"), "-record", recordB)
+
+	out := run(t, bins["wmtool"], "verify", "-in", marked, "-schema", itemScanSpec,
+		"-records", recordA+","+recordB, "-parallel", "0")
+	if !strings.Contains(out, "against 2 certificates (one scan)") {
+		t.Fatalf("batch verify banner: %s", out)
+	}
+	if !strings.Contains(out, "WATERMARK PRESENT") {
+		t.Fatalf("owner certificate not detected: %s", out)
+	}
+	if !strings.Contains(out, "no watermark evidence") {
+		t.Fatalf("bystander certificate not rejected: %s", out)
+	}
+
+	// -record and -records are mutually exclusive; one is required.
+	runExpectFail(t, bins["wmtool"], "verify", "-in", marked, "-schema", itemScanSpec,
+		"-record", recordA, "-records", recordA+","+recordB)
+	runExpectFail(t, bins["wmtool"], "verify", "-in", marked, "-schema", itemScanSpec)
+}

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	wmserver -addr :8080 -store ./wmstore -workers 0
+//	wmserver -addr :8080 -store ./wmstore -workers 0 -scanner-cache 256
 //
 // See internal/server for the endpoint reference, README.md for a
 // quickstart with curl. SIGINT/SIGTERM drains in-flight requests before
@@ -24,11 +24,13 @@ func main() {
 	storeDir := flag.String("store", "./wmstore", "certificate store directory")
 	workers := flag.Int("workers", 0, "default pipeline workers per job (0 = NumCPU)")
 	maxBody := flag.Int64("max-body", server.DefaultMaxBodyBytes, "maximum request body bytes")
+	scannerCache := flag.Int("scanner-cache", 0, "prepared-certificate cache entries (0 = default, negative = disable)")
 	flag.Parse()
 
 	err := server.Run(*addr, *storeDir, server.Config{
-		Workers:      *workers,
-		MaxBodyBytes: *maxBody,
+		Workers:             *workers,
+		MaxBodyBytes:        *maxBody,
+		ScannerCacheEntries: *scannerCache,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "wmserver:", err)

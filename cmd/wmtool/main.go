@@ -5,9 +5,10 @@
 //
 //	wmtool embed   -in data.csv -schema SPEC -attr A -wm BITS -k1 S1 -k2 S2 -e N -out marked.csv
 //	wmtool detect  -in marked.csv -schema SPEC -attr A -wmlen N -k1 S1 -k2 S2 -e N [-bandwidth B]
+//	wmtool verify  -in suspect.csv -schema SPEC -record cert.json | -records a.json,b.json,c.json
 //	wmtool attack  -in marked.csv -schema SPEC -type T [-frac F] [-attr A] [-seed S] -out attacked.csv
 //	wmtool analyze [-n N] [-e E] [-a A] [-p P] [-r R] [-theta T]
-//	wmtool serve   [-addr :8080] [-store DIR] [-workers N]
+//	wmtool serve   [-addr :8080] [-store DIR] [-workers N] [-scanner-cache N]
 //
 // SPEC is the schema grammar of internal/relation, e.g.
 // "Visit_Nbr:int!key, Item_Nbr:int:categorical". Attack types: subset,
@@ -15,7 +16,8 @@
 //
 // embed, detect, watermark and verify accept -parallel N to run the
 // chunked worker pool of internal/pipeline (1 = sequential, 0 = NumCPU);
-// serve runs the wmserver HTTP API in-process.
+// verify -records checks a suspect against many certificates in ONE
+// streaming scan; serve runs the wmserver HTTP API in-process.
 package main
 
 import (
@@ -337,11 +339,21 @@ func cmdVerify(args []string) error {
 	in := fs.String("in", "", "suspect CSV")
 	spec := fs.String("schema", "", "schema spec")
 	recordPath := fs.String("record", "", "watermark certificate (JSON)")
+	recordPaths := fs.String("records", "", "comma-separated certificate files: verify all against ONE streaming scan of -in")
 	parallel := fs.Int("parallel", 1, "pipeline workers (1 = sequential, 0 = NumCPU)")
 	fs.Parse(args)
 
-	if *in == "" || *spec == "" || *recordPath == "" {
-		return fmt.Errorf("verify: -in, -schema, -record are required")
+	if *in == "" || *spec == "" || (*recordPath == "") == (*recordPaths == "") {
+		return fmt.Errorf("verify: -in, -schema, and exactly one of -record / -records are required")
+	}
+	if *recordPaths != "" {
+		var paths []string
+		for _, p := range strings.Split(*recordPaths, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				paths = append(paths, p)
+			}
+		}
+		return verifyBatch(*in, *spec, paths, specWorkers(*parallel))
 	}
 	data, err := os.ReadFile(*recordPath)
 	if err != nil {
@@ -373,12 +385,70 @@ func cmdVerify(args []string) error {
 	}
 	fmt.Printf("  chance of a full %d-bit match on unmarked data: %.3g\n",
 		wmLen, analysis.FalsePositiveProb(wmLen))
-	if rep.Match >= 0.9 {
-		fmt.Println("verdict: WATERMARK PRESENT")
-	} else if rep.Match >= 0.7 {
-		fmt.Println("verdict: partial match — data heavily attacked or partly unrelated")
-	} else {
-		fmt.Println("verdict: no watermark evidence")
+	fmt.Printf("verdict: %s\n", verdictString(rep.Match))
+	return nil
+}
+
+// verdictString renders a match fraction at the shared core thresholds.
+func verdictString(match float64) string {
+	switch {
+	case match >= core.PresentThreshold:
+		return "WATERMARK PRESENT"
+	case match >= core.PartialThreshold:
+		return "partial match — data heavily attacked or partly unrelated"
+	default:
+		return "no watermark evidence"
+	}
+}
+
+// verifyBatch checks the suspect against every certificate in one
+// streaming scan: the CSV is read straight off disk tuple-at-a-time and
+// fanned across all prepared scanners (core.VerifyBatch), so auditing a
+// dataset against a whole certificate catalog costs one pass.
+func verifyBatch(in, spec string, recordPaths []string, workers int) error {
+	records := make([]*core.Record, len(recordPaths))
+	for i, path := range recordPaths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		if records[i], err = core.LoadRecord(data); err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+	}
+	schema, err := relation.ParseSchemaSpec(spec)
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	src, err := relation.NewCSVRowReader(f, schema)
+	if err != nil {
+		return err
+	}
+	outs, err := core.VerifyBatch(records, src, core.BatchOptions{Workers: workers})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("batch verification of %s against %d certificates (one scan)\n", in, len(records))
+	for i, out := range outs {
+		if out.Err != nil {
+			fmt.Printf("  %-30s error: %v\n", recordPaths[i], out.Err)
+			continue
+		}
+		rep := out.Report
+		fmt.Printf("  %-30s match %5.1f%%  %s\n", recordPaths[i], rep.Match*100, verdictString(rep.Match))
+	}
+	for _, out := range outs {
+		if out.Err == nil {
+			fmt.Printf("  (%d tuples scanned once; remap recovery and frequency channel\n"+
+				"   are skipped on the streaming path — rerun with -record for those)\n",
+				out.Report.Primary.Tuples)
+			break
+		}
 	}
 	return nil
 }
@@ -457,12 +527,14 @@ func cmdServe(args []string) error {
 	storeDir := fs.String("store", "./wmstore", "certificate store directory")
 	workers := fs.Int("workers", 0, "default pipeline workers per job (0 = NumCPU)")
 	maxBody := fs.Int64("max-body", server.DefaultMaxBodyBytes, "maximum request body bytes")
+	scannerCache := fs.Int("scanner-cache", 0, "prepared-certificate cache entries (0 = default, negative = disable)")
 	fs.Parse(args)
 
 	return server.Run(*addr, *storeDir, server.Config{
-		Workers:      *workers,
-		MaxBodyBytes: *maxBody,
-		Log:          log.New(os.Stderr, "wmtool serve: ", log.LstdFlags),
+		Workers:             *workers,
+		MaxBodyBytes:        *maxBody,
+		ScannerCacheEntries: *scannerCache,
+		Log:                 log.New(os.Stderr, "wmtool serve: ", log.LstdFlags),
 	})
 }
 

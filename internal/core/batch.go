@@ -1,0 +1,86 @@
+package core
+
+import (
+	"repro/internal/mark"
+	"repro/internal/pipeline"
+	"repro/internal/relation"
+)
+
+// BatchOptions configures a VerifyBatch pass.
+type BatchOptions struct {
+	// Workers follows the Spec.Workers convention: 0 or 1 sequential,
+	// > 1 that many pipeline workers, negative means runtime.NumCPU().
+	Workers int
+	// Cache, when non-nil, memoizes prepared certificate state across
+	// calls — the point of registering a catalog once and auditing many
+	// suspect datasets against it.
+	Cache *ScannerCache
+}
+
+// BatchReport is one certificate's outcome from VerifyBatch.
+type BatchReport struct {
+	// Report is the verification outcome; meaningful only when Err is nil.
+	Report Report
+	// Err is a per-certificate failure — a corrupt record, a certificate
+	// whose attributes do not resolve in the suspect's schema, or an ECC
+	// decode failure. One bad certificate never fails the batch.
+	Err error
+}
+
+// VerifyBatch verifies every certificate against ONE streaming pass over
+// the suspect dataset — the ownership-audit primitive: a suspect corpus
+// is checked against a whole registered catalog for the cost of a single
+// read. Each certificate's primary-channel detection is bit-identical to
+// what its individual Record.Verify would compute (see the equivalence
+// test); results are in records order.
+//
+// Because the suspect is consumed as a one-shot stream and never
+// materialized, the two rescanning fallbacks of Record.Verify are out of
+// scope here: Section 4.5 bijective-remap recovery is not attempted
+// (RemapRecovered is always false — a remapped suspect surfaces as a high
+// Primary.UnknownValues count, at which point the caller can rerun
+// Record.Verify on a materialized copy), and the Section 4.2 frequency
+// channel is not scored (FrequencyMatch is -1).
+//
+// A stream-level error (unreadable or malformed suspect data) fails the
+// whole call; per-certificate failures land in their BatchReport.Err.
+func VerifyBatch(records []*Record, src relation.RowReader, opts BatchOptions) ([]BatchReport, error) {
+	out := make([]BatchReport, len(records))
+	preps := make([]*preparedRecord, len(records))
+	var scanners []*mark.Scanner
+	var live []int // scanner position -> records index
+	for i, rec := range records {
+		p, err := prepared(rec, opts.Cache)
+		if err != nil {
+			out[i].Err = err
+			continue
+		}
+		sc, err := p.streamScanner(src.Schema())
+		if err != nil {
+			out[i].Err = err
+			continue
+		}
+		preps[i] = p
+		scanners = append(scanners, sc)
+		live = append(live, i)
+	}
+
+	outs, err := pipeline.DetectMany(src, scanners, pipeline.Config{Workers: workerCount(opts.Workers)})
+	if err != nil {
+		return nil, err
+	}
+	for j, o := range outs {
+		i := live[j]
+		if o.Err != nil {
+			out[i].Err = o.Err
+			continue
+		}
+		out[i].Report = Report{
+			Match:          o.Report.MatchFraction(preps[i].want),
+			Detected:       o.Report.WM.String(),
+			FrequencyMatch: -1,
+			Primary:        o.Report,
+		}
+	}
+	return out, nil
+}

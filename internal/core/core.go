@@ -191,6 +191,16 @@ func Watermark(r *relation.Relation, s Spec) (*Record, Stats, error) {
 	return rec, st, nil
 }
 
+// Verdict thresholds on Report.Match, shared by every surface (CLI,
+// HTTP API) so a recalibration cannot leave them disagreeing: at least
+// PresentThreshold is a positive ownership verdict, at least
+// PartialThreshold a partial match (heavily attacked or partly related
+// data), anything lower is no evidence.
+const (
+	PresentThreshold = 0.9
+	PartialThreshold = 0.7
+)
+
 // Report is a verification outcome.
 type Report struct {
 	// Match is the fraction of watermark bits recovered through the
@@ -216,7 +226,7 @@ type Report struct {
 // retries. The frequency channel, when present, is scored as a secondary
 // witness. The suspect relation is never modified.
 func (rec *Record) Verify(suspect *relation.Relation) (Report, error) {
-	return rec.verify(suspect, 1)
+	return rec.verify(suspect, 1, nil)
 }
 
 // VerifyParallel is Verify with the detection scans chunked across a
@@ -225,35 +235,37 @@ func (rec *Record) Verify(suspect *relation.Relation) (Report, error) {
 // negative means runtime.NumCPU(). The recovered bit string is
 // bit-identical to Verify's.
 func (rec *Record) VerifyParallel(suspect *relation.Relation, workers int) (Report, error) {
-	return rec.verify(suspect, workerCount(workers))
+	return rec.verify(suspect, workerCount(workers), nil)
 }
 
-func (rec *Record) verify(suspect *relation.Relation, workers int) (Report, error) {
+// VerifyOptions parameterises VerifyWith.
+type VerifyOptions struct {
+	// Workers follows the Spec.Workers convention (0/1 sequential,
+	// negative = NumCPU).
+	Workers int
+	// Cache, when non-nil, reuses prepared certificate state across
+	// verifies of the same record (see ScannerCache).
+	Cache *ScannerCache
+}
+
+// VerifyWith is Verify with an explicit worker count and an optional
+// prepared-scanner cache; results are identical to Verify's.
+func (rec *Record) VerifyWith(suspect *relation.Relation, o VerifyOptions) (Report, error) {
+	return rec.verify(suspect, workerCount(o.Workers), o.Cache)
+}
+
+func (rec *Record) verify(suspect *relation.Relation, workers int, cache *ScannerCache) (Report, error) {
 	var rep Report
 	rep.FrequencyMatch = -1
-	want, err := ecc.ParseBits(rec.WM)
+	p, err := prepared(rec, cache)
 	if err != nil {
-		return rep, fmt.Errorf("core: corrupt record: %w", err)
+		return rep, err
 	}
-	dom, err := relation.NewDomain(rec.Domain)
-	if err != nil {
-		return rep, fmt.Errorf("core: corrupt record: %w", err)
-	}
-	s := Spec{Secret: rec.Secret}
-	k1, k2 := s.keys()
-	opts := mark.Options{
-		KeyAttr:           rec.KeyAttr,
-		Attr:              rec.Attribute,
-		K1:                k1,
-		K2:                k2,
-		E:                 rec.E,
-		Domain:            dom,
-		BandwidthOverride: rec.Bandwidth,
-	}
+	want := p.want
 
 	cfg := pipeline.Config{Workers: workers}
 	working := suspect
-	det, err := pipeline.Detect(working, len(want), opts, cfg)
+	det, err := pipeline.Detect(working, len(want), p.opts, cfg)
 	if err != nil {
 		return rep, err
 	}
@@ -263,7 +275,7 @@ func (rec *Record) verify(suspect *relation.Relation, workers int) (Report, erro
 		if rerr == nil {
 			working = suspect.Clone()
 			if _, aerr := freq.ApplyMapping(working, rec.Attribute, inverse); aerr == nil {
-				if det2, derr := pipeline.Detect(working, len(want), opts, cfg); derr == nil {
+				if det2, derr := pipeline.Detect(working, len(want), p.opts, cfg); derr == nil {
 					det = det2
 					rep.RemapRecovered = true
 				}
@@ -275,7 +287,7 @@ func (rec *Record) verify(suspect *relation.Relation, workers int) (Report, erro
 	rep.Match = det.MatchFraction(want)
 
 	if rec.HasFrequencyChannel {
-		fp := freq.DefaultParams(s.freqKey())
+		fp := freq.DefaultParams(Spec{Secret: rec.Secret}.freqKey())
 		if frep, ferr := freq.Detect(working, rec.Attribute, len(want), fp); ferr == nil {
 			rep.FrequencyMatch = 1 - ecc.AlterationRate(want, frep.WM)
 		}

@@ -1,0 +1,64 @@
+package keyhash
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+)
+
+// Hasher is a prepared evaluation context for H(·;k) with the key fixed.
+// The construct's prefix (len(k) ‖ k) is assembled once at construction,
+// and each Hash call runs a single one-shot SHA-256 over a stack buffer
+// instead of four streaming writes through the hash.Hash interface. The
+// digests are bit-identical to Hash/HashString — the hot detection and
+// embedding loops evaluate one keyed hash per tuple per certificate, so
+// this is the per-tuple unit of work batch verification multiplies.
+//
+// A Hasher is immutable after construction and safe for concurrent use.
+type Hasher struct {
+	key    Key
+	prefix []byte // len(k) ‖ k
+}
+
+// NewHasher validates the key and prepares a Hasher for it.
+func (k Key) NewHasher() (*Hasher, error) {
+	if err := k.Validate(); err != nil {
+		return nil, err
+	}
+	prefix := make([]byte, 8+len(k))
+	binary.BigEndian.PutUint64(prefix[:8], uint64(len(k)))
+	copy(prefix[8:], k)
+	return &Hasher{key: k, prefix: prefix}, nil
+}
+
+// oneShotMax bounds the stack-buffer fast path: prefix + value + key must
+// fit. NewKey-derived keys are 32 bytes, so any value up to 56 bytes —
+// beyond realistic key-attribute values — stays on the fast path; longer
+// inputs fall back to the streaming construct. The buffer is deliberately
+// small: the compiler zero-initialises it on every call.
+const oneShotMax = 128
+
+// Hash computes H(v;k), identically to Hash(k, v).
+func (h *Hasher) Hash(v []byte) Digest {
+	total := len(h.prefix) + len(v) + len(h.key)
+	if total <= oneShotMax {
+		var buf [oneShotMax]byte
+		n := copy(buf[:], h.prefix)
+		n += copy(buf[n:], v)
+		n += copy(buf[n:], h.key)
+		return Digest(sha256.Sum256(buf[:n]))
+	}
+	return Hash(h.key, v)
+}
+
+// HashString is Hash over the UTF-8 bytes of v.
+func (h *Hasher) HashString(v string) Digest {
+	total := len(h.prefix) + len(v) + len(h.key)
+	if total <= oneShotMax {
+		var buf [oneShotMax]byte
+		n := copy(buf[:], h.prefix)
+		n += copy(buf[n:], v)
+		n += copy(buf[n:], h.key)
+		return Digest(sha256.Sum256(buf[:n]))
+	}
+	return Hash(h.key, []byte(v))
+}

@@ -33,6 +33,29 @@ type Embedder struct {
 	dom     *relation.Domain
 	bw      int
 	wmData  ecc.Bits
+	h1, h2  *keyhash.Hasher
+}
+
+// newEmbedder assembles the prepared pass once parameters are validated.
+func newEmbedder(opts Options, keyCol, attrCol int, dom *relation.Domain, bw int, wmData ecc.Bits) (*Embedder, error) {
+	h1, err := opts.K1.NewHasher()
+	if err != nil {
+		return nil, fmt.Errorf("mark: k1: %w", err)
+	}
+	h2, err := opts.K2.NewHasher()
+	if err != nil {
+		return nil, fmt.Errorf("mark: k2: %w", err)
+	}
+	return &Embedder{
+		opts:    opts,
+		keyCol:  keyCol,
+		attrCol: attrCol,
+		dom:     dom,
+		bw:      bw,
+		wmData:  wmData,
+		h1:      h1,
+		h2:      h2,
+	}, nil
 }
 
 // NewEmbedder validates options against r and prepares an embedding pass
@@ -56,14 +79,7 @@ func NewEmbedder(r *relation.Relation, wm ecc.Bits, opts Options) (*Embedder, er
 	if err != nil {
 		return nil, err
 	}
-	return &Embedder{
-		opts:    opts,
-		keyCol:  keyCol,
-		attrCol: attrCol,
-		dom:     dom,
-		bw:      bw,
-		wmData:  wmData,
-	}, nil
+	return newEmbedder(opts, keyCol, attrCol, dom, bw, wmData)
 }
 
 // NewStreamEmbedder prepares an embedding pass for data arriving as a row
@@ -91,14 +107,7 @@ func NewStreamEmbedder(schema *relation.Schema, wm ecc.Bits, opts Options) (*Emb
 	if err != nil {
 		return nil, err
 	}
-	return &Embedder{
-		opts:    opts,
-		keyCol:  keyCol,
-		attrCol: attrCol,
-		dom:     dom,
-		bw:      bw,
-		wmData:  wmData,
-	}, nil
+	return newEmbedder(opts, keyCol, attrCol, dom, bw, wmData)
 }
 
 // Bandwidth returns the fixed |wm_data| of this pass — the value a
@@ -135,7 +144,7 @@ func (e *Embedder) EmbedRange(r *relation.Relation, lo, hi int) (ChunkStats, err
 	for j := lo; j < hi; j++ {
 		t := r.Tuple(j)
 		keyVal := t[e.keyCol]
-		d1 := keyhash.HashString(opts.K1, keyVal)
+		d1 := e.h1.HashString(keyVal)
 		if !keyhash.Fit(d1, opts.E) {
 			continue
 		}
@@ -144,7 +153,7 @@ func (e *Embedder) EmbedRange(r *relation.Relation, lo, hi int) (ChunkStats, err
 			cs.SkippedLedger++
 			continue
 		}
-		pos := int(keyhash.HashString(opts.K2, keyVal).Mod(uint64(e.bw)))
+		pos := int(e.h2.HashString(keyVal).Mod(uint64(e.bw)))
 		bit := uint64(e.wmData[pos])
 		// Value-index selection: an independent digest word drives the
 		// pseudorandom pair choice so the mod-e fitness constraint on
@@ -216,9 +225,10 @@ func MergeChunks(chunks ...ChunkStats) EmbedStats {
 	return out
 }
 
-// Scanner is a prepared detection pass: options resolved, bandwidth fixed.
-// It is immutable after construction and safe for concurrent use by
-// multiple goroutines scanning disjoint row ranges.
+// Scanner is a prepared detection pass: options resolved, bandwidth fixed,
+// keyed-hash contexts built. It is immutable after construction and safe
+// for concurrent use by multiple goroutines scanning disjoint row ranges
+// (or disjoint tallies — see ScanTuple).
 type Scanner struct {
 	opts    Options
 	keyCol  int
@@ -226,6 +236,7 @@ type Scanner struct {
 	dom     *relation.Domain
 	bw      int
 	wmLen   int
+	h1, h2  *keyhash.Hasher
 }
 
 // NewScanner validates options against r and prepares a detection pass.
@@ -263,6 +274,14 @@ func newScanner(keyCol, attrCol int, dom *relation.Domain, n, wmLen int, opts Op
 		return nil, fmt.Errorf("%w: |wm|=%d, N/e=%d (N=%d, e=%d)",
 			ErrInsufficientBandwidth, wmLen, bw, n, opts.E)
 	}
+	h1, err := opts.K1.NewHasher()
+	if err != nil {
+		return nil, fmt.Errorf("mark: k1: %w", err)
+	}
+	h2, err := opts.K2.NewHasher()
+	if err != nil {
+		return nil, fmt.Errorf("mark: k2: %w", err)
+	}
 	return &Scanner{
 		opts:    opts,
 		keyCol:  keyCol,
@@ -270,6 +289,8 @@ func newScanner(keyCol, attrCol int, dom *relation.Domain, n, wmLen int, opts Op
 		dom:     dom,
 		bw:      bw,
 		wmLen:   wmLen,
+		h1:      h1,
+		h2:      h2,
 	}, nil
 }
 
@@ -305,37 +326,47 @@ func (s *Scanner) NewTally() *Tally {
 	return t
 }
 
-// Scan reads rows [lo, hi) of r and accumulates their votes into t. The
-// relation is never modified. Concurrent Scan calls must use distinct
-// tallies; merge them afterwards with Tally.Merge.
+// ScanTuple accumulates one tuple's vote into t — the single vote kernel
+// every detection path (sequential, chunked, streaming, batched) runs per
+// tuple: re-derive fitness and bit position from the tuple's own key, read
+// the value-index parity, tally it. tup must be in the schema attribute
+// order the scanner was prepared against; the relation it came from is
+// never needed. Concurrent callers must use distinct tallies and merge
+// them afterwards in scan order with Tally.Merge.
+func (s *Scanner) ScanTuple(tup relation.Tuple, t *Tally) {
+	t.Rows++
+	keyVal := tup[s.keyCol]
+	d1 := s.h1.HashString(keyVal)
+	if !keyhash.Fit(d1, s.opts.E) {
+		return
+	}
+	t.Fit++
+	idx, ok := s.dom.Index(tup[s.attrCol])
+	if !ok {
+		t.UnknownValues++
+		return
+	}
+	pos := int(s.h2.HashString(keyVal).Mod(uint64(s.bw)))
+	bit := uint8(idx & 1)
+	if bit == ecc.One {
+		t.Votes[pos].Ones++
+	} else {
+		t.Votes[pos].Zeros++
+	}
+	t.Last[pos] = bit
+}
+
+// Scan reads rows [lo, hi) of r and accumulates their votes into t — the
+// contiguous-range loop over ScanTuple. The relation is never modified.
+// Concurrent Scan calls must use distinct tallies; merge them afterwards
+// with Tally.Merge.
 func (s *Scanner) Scan(r *relation.Relation, lo, hi int, t *Tally) error {
 	if lo < 0 || hi > r.Len() || lo > hi {
 		return fmt.Errorf("mark: row range [%d, %d) out of bounds (N=%d)", lo, hi, r.Len())
 	}
-	opts := &s.opts
 	for j := lo; j < hi; j++ {
-		tup := r.Tuple(j)
-		keyVal := tup[s.keyCol]
-		d1 := keyhash.HashString(opts.K1, keyVal)
-		if !keyhash.Fit(d1, opts.E) {
-			continue
-		}
-		t.Fit++
-		idx, ok := s.dom.Index(tup[s.attrCol])
-		if !ok {
-			t.UnknownValues++
-			continue
-		}
-		pos := int(keyhash.HashString(opts.K2, keyVal).Mod(uint64(s.bw)))
-		bit := uint8(idx & 1)
-		if bit == ecc.One {
-			t.Votes[pos].Ones++
-		} else {
-			t.Votes[pos].Zeros++
-		}
-		t.Last[pos] = bit
+		s.ScanTuple(r.Tuple(j), t)
 	}
-	t.Rows += hi - lo
 	return nil
 }
 

@@ -182,11 +182,84 @@ type streamEmbedOut struct {
 	cs  mark.ChunkStats
 }
 
-// DetectReader streams rows from src and recovers a wmLen-bit watermark,
-// scanning chunks on a worker pool and merging vote tallies in stream
-// order. Requires opts.Domain and opts.BandwidthOverride. The recovered
-// bit string is bit-identical to running mark.Detect over the
-// materialized stream with the same parameters.
+// ScanMany is the fan-out detection engine: it drives every prepared
+// scanner over a SINGLE pass of src and returns one merged tally per
+// scanner, in scanner order. Chunks are scanned on the worker pool with
+// each scanner casting its votes tuple-at-a-time (mark.Scanner.ScanTuple),
+// and per-chunk tallies merge in stream order, so every tally — including
+// its LastWriteWins column — is bit-identical to scanning the materialized
+// stream with that scanner alone. The dataset is read, parsed and chunked
+// exactly once no matter how many scanners ride the pass; this is what
+// makes corpus-against-catalog verification (core.VerifyBatch) scale with
+// the number of certificates.
+//
+// Scanners must have been prepared against src's schema (their key and
+// attribute columns are resolved positions). With zero scanners the stream
+// is not consumed.
+func ScanMany(src relation.RowReader, scanners []*mark.Scanner, cfg Config) ([]*mark.Tally, error) {
+	totals := make([]*mark.Tally, len(scanners))
+	for i, sc := range scanners {
+		totals[i] = sc.NewTally()
+	}
+	if len(scanners) == 0 {
+		return totals, nil
+	}
+	err := runStream(src, cfg,
+		func(rel *relation.Relation) ([]*mark.Tally, error) {
+			parts := make([]*mark.Tally, len(scanners))
+			for i, sc := range scanners {
+				parts[i] = sc.NewTally()
+			}
+			// Scanner-major: each scanner sweeps the chunk with its own
+			// hot hasher state rather than all scanners thrashing per
+			// tuple. Per-scanner tallies keep vote order intact.
+			for i, sc := range scanners {
+				if err := sc.Scan(rel, 0, rel.Len(), parts[i]); err != nil {
+					return nil, err
+				}
+			}
+			return parts, nil
+		},
+		func(parts []*mark.Tally) error {
+			for i := range totals {
+				totals[i].Merge(parts[i])
+			}
+			return nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	return totals, nil
+}
+
+// DetectOutcome is one scanner's result from DetectMany. Err carries a
+// per-certificate decode failure (e.g. an ECC that cannot decode the
+// recovered wm_data); the scan itself either succeeds for all scanners or
+// fails the whole call.
+type DetectOutcome struct {
+	Report mark.DetectReport
+	Err    error
+}
+
+// DetectMany runs ScanMany and aggregates each scanner's tally into its
+// detection report. Outcomes are in scanner order.
+func DetectMany(src relation.RowReader, scanners []*mark.Scanner, cfg Config) ([]DetectOutcome, error) {
+	tallies, err := ScanMany(src, scanners, cfg)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]DetectOutcome, len(scanners))
+	for i, sc := range scanners {
+		out[i].Report, out[i].Err = sc.Report(tallies[i])
+	}
+	return out, nil
+}
+
+// DetectReader streams rows from src and recovers a wmLen-bit watermark —
+// the single-scanner case of DetectMany. Requires opts.Domain and
+// opts.BandwidthOverride. The recovered bit string is bit-identical to
+// running mark.Detect over the materialized stream with the same
+// parameters.
 func DetectReader(src relation.RowReader, wmLen int, opts mark.Options, cfg Config) (mark.DetectReport, error) {
 	if err := validateChunkable(opts, "detect"); err != nil {
 		return mark.DetectReport{}, err
@@ -195,21 +268,9 @@ func DetectReader(src relation.RowReader, wmLen int, opts mark.Options, cfg Conf
 	if err != nil {
 		return mark.DetectReport{}, err
 	}
-	total := sc.NewTally()
-	err = runStream(src, cfg,
-		func(rel *relation.Relation) (*mark.Tally, error) {
-			t := sc.NewTally()
-			if err := sc.Scan(rel, 0, rel.Len(), t); err != nil {
-				return nil, err
-			}
-			return t, nil
-		},
-		func(t *mark.Tally) error {
-			total.Merge(t)
-			return nil
-		})
+	outs, err := DetectMany(src, []*mark.Scanner{sc}, cfg)
 	if err != nil {
 		return mark.DetectReport{}, err
 	}
-	return sc.Report(total)
+	return outs[0].Report, outs[0].Err
 }

@@ -8,22 +8,33 @@
 //
 //	POST   /v1/watermark     embed a watermark, persist the certificate
 //	POST   /v1/verify        verify a suspect against a stored or inline certificate
-//	GET    /v1/records       list stored certificate IDs
+//	POST   /v1/verify/batch  verify one suspect against many stored certificates in ONE scan
+//	GET    /v1/records       list stored certificate IDs (sorted; ?limit=N)
 //	GET    /v1/records/{id}  inspect a certificate (secret redacted)
 //	DELETE /v1/records/{id}  drop a certificate
 //	GET    /healthz          liveness probe
 //
-// Relations travel inline in request/response bodies as CSV (default) or
-// JSONL text plus the schema-spec grammar of internal/relation.
+// Relations travel either inline in JSON request/response bodies as CSV
+// (default) or JSONL text plus the schema-spec grammar of
+// internal/relation, or — on the verify endpoints — as RAW streamed
+// request bodies: POST with Content-Type text/csv or
+// application/x-ndjson and the rows flow straight from the socket into
+// the detection pipeline tuple-at-a-time, never materialized in a request
+// struct (parameters travel as query strings). Prepared certificate
+// state is cached across requests (core.ScannerCache), so auditing many
+// suspects against a registered catalog re-derives keys and domains once.
 package server
 
 import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log"
+	"mime"
 	"net/http"
 	"runtime"
+	"strconv"
 	"strings"
 	"time"
 
@@ -44,6 +55,9 @@ type Config struct {
 	Workers int
 	// MaxBodyBytes caps request body size; <= 0 means DefaultMaxBodyBytes.
 	MaxBodyBytes int64
+	// ScannerCacheEntries bounds the prepared-certificate cache; 0 means
+	// core.DefaultScannerCacheEntries, negative disables the cache.
+	ScannerCacheEntries int
 	// Log, when non-nil, receives one line per request.
 	Log *log.Logger
 }
@@ -52,6 +66,7 @@ type Config struct {
 type Server struct {
 	store   *store.Store
 	cfg     Config
+	cache   *core.ScannerCache
 	mux     *http.ServeMux
 	started time.Time
 }
@@ -65,9 +80,13 @@ func New(st *store.Store, cfg Config) *Server {
 		cfg.MaxBodyBytes = DefaultMaxBodyBytes
 	}
 	s := &Server{store: st, cfg: cfg, mux: http.NewServeMux(), started: time.Now()}
+	if cfg.ScannerCacheEntries >= 0 {
+		s.cache = core.NewScannerCache(cfg.ScannerCacheEntries)
+	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("POST /v1/watermark", s.handleWatermark)
 	s.mux.HandleFunc("POST /v1/verify", s.handleVerify)
+	s.mux.HandleFunc("POST /v1/verify/batch", s.handleVerifyBatch)
 	s.mux.HandleFunc("GET /v1/records", s.handleListRecords)
 	s.mux.HandleFunc("GET /v1/records/{id}", s.handleGetRecord)
 	s.mux.HandleFunc("DELETE /v1/records/{id}", s.handleDeleteRecord)
@@ -145,6 +164,74 @@ func decodeRelation(schemaSpec, format, data string) (*relation.Relation, *relat
 		return nil, nil, err
 	}
 	return r, schema, nil
+}
+
+// Streamable request content types: rows flow straight from the body
+// into the pipeline.
+const (
+	contentTypeCSV    = "text/csv"
+	contentTypeNDJSON = "application/x-ndjson"
+)
+
+// requestMediaType extracts the bare media type of a request body.
+func requestMediaType(r *http.Request) string {
+	ct := r.Header.Get("Content-Type")
+	if ct == "" {
+		return ""
+	}
+	mt, _, err := mime.ParseMediaType(ct)
+	if err != nil {
+		return ct
+	}
+	return mt
+}
+
+func isStreamType(mt string) bool {
+	return mt == contentTypeCSV || mt == contentTypeNDJSON
+}
+
+// rowReaderForFormat builds a streaming row reader for an inline payload
+// format name ("csv" or "jsonl").
+func rowReaderForFormat(format string, rd io.Reader, schema *relation.Schema) (relation.RowReader, error) {
+	switch strings.ToLower(format) {
+	case "", "csv":
+		return relation.NewCSVRowReader(rd, schema)
+	case "jsonl":
+		return relation.NewJSONLRowReader(rd, schema), nil
+	default:
+		return nil, fmt.Errorf("unknown format %q (want csv or jsonl)", format)
+	}
+}
+
+// streamRowReader builds a row reader over a raw streamed request body.
+func streamRowReader(body io.Reader, mt, schemaSpec string) (relation.RowReader, error) {
+	if schemaSpec == "" {
+		return nil, errors.New("missing schema query parameter")
+	}
+	schema, err := relation.ParseSchemaSpec(schemaSpec)
+	if err != nil {
+		return nil, err
+	}
+	switch mt {
+	case contentTypeCSV:
+		return rowReaderForFormat("csv", body, schema)
+	case contentTypeNDJSON:
+		return rowReaderForFormat("jsonl", body, schema)
+	default:
+		return nil, fmt.Errorf("unsupported content type %q", mt)
+	}
+}
+
+// writeScanError reports a failed streaming scan: a tripped body limit is
+// 413 (shrink and retry), anything else is a malformed suspect (400).
+func writeScanError(w http.ResponseWriter, err error) {
+	var maxErr *http.MaxBytesError
+	if errors.As(err, &maxErr) {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			"request body exceeds %d bytes", maxErr.Limit)
+		return
+	}
+	writeError(w, http.StatusBadRequest, "suspect data: %v", err)
 }
 
 // encodeRelation renders a relation back into a payload string.
@@ -300,7 +387,37 @@ type VerifyResponse struct {
 	FalsePositiveProb float64 `json:"false_positive_prob"`
 }
 
+// verdictFor maps a bit-agreement fraction onto the API verdict scale,
+// at the shared core thresholds.
+func verdictFor(match float64) string {
+	switch {
+	case match >= core.PresentThreshold:
+		return "present"
+	case match >= core.PartialThreshold:
+		return "partial"
+	default:
+		return "absent"
+	}
+}
+
+// loadStoredRecord fetches a certificate by ID, replying on failure.
+func (s *Server) loadStoredRecord(w http.ResponseWriter, id string) (*core.Record, bool) {
+	rec, err := s.store.Get(id)
+	if errors.Is(err, store.ErrNotFound) {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return nil, false
+	} else if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return nil, false
+	}
+	return rec, true
+}
+
 func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
+	if mt := requestMediaType(r); isStreamType(mt) {
+		s.handleVerifyStream(w, r, mt)
+		return
+	}
 	var req VerifyRequest
 	if !decodeBody(w, r, &req) {
 		return
@@ -311,13 +428,8 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "pass either id or record, not both")
 		return
 	case req.ID != "":
-		var err error
-		rec, err = s.store.Get(req.ID)
-		if errors.Is(err, store.ErrNotFound) {
-			writeError(w, http.StatusNotFound, "%v", err)
-			return
-		} else if err != nil {
-			writeError(w, http.StatusInternalServerError, "%v", err)
+		var ok bool
+		if rec, ok = s.loadStoredRecord(w, req.ID); !ok {
 			return
 		}
 	case req.Record != nil:
@@ -331,26 +443,208 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "relation: %v", err)
 		return
 	}
-	rep, err := rec.VerifyParallel(suspect, s.workersFor(req.Workers))
+	rep, err := rec.VerifyWith(suspect, core.VerifyOptions{
+		Workers: s.workersFor(req.Workers),
+		Cache:   s.cache,
+	})
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "verify: %v", err)
 		return
 	}
-	verdict := "absent"
-	switch {
-	case rep.Match >= 0.9:
-		verdict = "present"
-	case rep.Match >= 0.7:
-		verdict = "partial"
-	}
 	writeJSON(w, http.StatusOK, VerifyResponse{
 		Match:             rep.Match,
 		Detected:          rep.Detected,
-		Verdict:           verdict,
+		Verdict:           verdictFor(rep.Match),
 		RemapRecovered:    rep.RemapRecovered,
 		FrequencyMatch:    rep.FrequencyMatch,
 		FalsePositiveProb: analysis.FalsePositiveProb(len(rec.WM)),
 	})
+}
+
+// handleVerifyStream serves POST /v1/verify with a raw text/csv or
+// application/x-ndjson body: the suspect rows flow from the socket into
+// the detection pipeline without ever being materialized server-side.
+// Parameters travel as query strings — id (a stored certificate,
+// required), schema (the schema spec), workers. Only the primary channel
+// is scored: the stream is consumed in one pass, so the remap-recovery
+// and frequency-channel rescans of the materialized path do not apply.
+func (s *Server) handleVerifyStream(w http.ResponseWriter, r *http.Request, mt string) {
+	q := r.URL.Query()
+	if q.Get("id") == "" {
+		writeError(w, http.StatusBadRequest,
+			"streaming verify needs an id query parameter naming a stored certificate")
+		return
+	}
+	rec, ok := s.loadStoredRecord(w, q.Get("id"))
+	if !ok {
+		return
+	}
+	src, err := streamRowReader(r.Body, mt, q.Get("schema"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "relation: %v", err)
+		return
+	}
+	workers, _ := strconv.Atoi(q.Get("workers"))
+	outs, err := core.VerifyBatch([]*core.Record{rec}, src, core.BatchOptions{
+		Workers: s.workersFor(workers),
+		Cache:   s.cache,
+	})
+	if err != nil {
+		writeScanError(w, err)
+		return
+	}
+	if outs[0].Err != nil {
+		writeError(w, http.StatusBadRequest, "verify: %v", outs[0].Err)
+		return
+	}
+	rep := outs[0].Report
+	writeJSON(w, http.StatusOK, VerifyResponse{
+		Match:             rep.Match,
+		Detected:          rep.Detected,
+		Verdict:           verdictFor(rep.Match),
+		FrequencyMatch:    rep.FrequencyMatch,
+		FalsePositiveProb: analysis.FalsePositiveProb(len(rec.WM)),
+	})
+}
+
+// BatchVerifyRequest is the JSON form of the POST /v1/verify/batch body.
+// The same endpoint also accepts a RAW streamed suspect (Content-Type
+// text/csv or application/x-ndjson) with records/schema/workers as query
+// parameters — the corpus-scale path, since the dataset is never held in
+// a request struct.
+type BatchVerifyRequest struct {
+	// Records selects stored certificate IDs to verify against; empty
+	// means every stored certificate.
+	Records []string `json:"records,omitempty"`
+	// Schema/Format/Data carry the suspect relation, as in /v1/verify.
+	Schema  string `json:"schema"`
+	Format  string `json:"format,omitempty"`
+	Data    string `json:"data"`
+	Workers int    `json:"workers,omitempty"`
+}
+
+// BatchVerifyResult is one certificate's outcome in a batch reply.
+type BatchVerifyResult struct {
+	ID string `json:"id"`
+	// Match/Detected/Verdict mirror VerifyResponse (primary channel only;
+	// the one-pass scan does not attempt remap recovery or the frequency
+	// channel).
+	Match    float64 `json:"match"`
+	Detected string  `json:"detected,omitempty"`
+	Verdict  string  `json:"verdict,omitempty"`
+	// Error reports a per-certificate failure; the batch still completes.
+	Error string `json:"error,omitempty"`
+}
+
+// BatchVerifyResponse is the POST /v1/verify/batch reply; results follow
+// the requested certificate order (or sorted ID order when verifying the
+// whole catalog).
+type BatchVerifyResponse struct {
+	Results []BatchVerifyResult `json:"results"`
+	// Tuples is the number of suspect rows scanned — once, no matter how
+	// many certificates were checked.
+	Tuples int `json:"tuples"`
+}
+
+// handleVerifyBatch verifies one uploaded suspect dataset against many
+// stored certificates in a single scan (core.VerifyBatch): the audit
+// primitive for "does anyone's watermark survive in this corpus?".
+func (s *Server) handleVerifyBatch(w http.ResponseWriter, r *http.Request) {
+	var ids []string
+	var workers int
+	var src relation.RowReader
+	if mt := requestMediaType(r); isStreamType(mt) {
+		q := r.URL.Query()
+		for _, id := range strings.Split(q.Get("records"), ",") {
+			if id = strings.TrimSpace(id); id != "" {
+				ids = append(ids, id)
+			}
+		}
+		workers, _ = strconv.Atoi(q.Get("workers"))
+		var err error
+		if src, err = streamRowReader(r.Body, mt, q.Get("schema")); err != nil {
+			writeError(w, http.StatusBadRequest, "relation: %v", err)
+			return
+		}
+	} else {
+		var req BatchVerifyRequest
+		if !decodeBody(w, r, &req) {
+			return
+		}
+		if req.Schema == "" || req.Data == "" {
+			writeError(w, http.StatusBadRequest, "missing schema or data")
+			return
+		}
+		schema, err := relation.ParseSchemaSpec(req.Schema)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "relation: %v", err)
+			return
+		}
+		if src, err = rowReaderForFormat(req.Format, strings.NewReader(req.Data), schema); err != nil {
+			writeError(w, http.StatusBadRequest, "relation: %v", err)
+			return
+		}
+		ids, workers = req.Records, req.Workers
+	}
+
+	// Explicitly requested IDs must all resolve (an unknown one is a
+	// 404); in whole-catalog mode a record deleted between List and Get
+	// is reported per-certificate instead of failing the audit.
+	explicit := len(ids) != 0
+	if !explicit {
+		all, err := s.store.List()
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		if len(all) == 0 {
+			writeError(w, http.StatusBadRequest, "no stored certificates to verify against")
+			return
+		}
+		ids = all
+	}
+	resp := BatchVerifyResponse{Results: make([]BatchVerifyResult, len(ids))}
+	var recs []*core.Record
+	var live []int // position in recs -> position in ids
+	for i, id := range ids {
+		id = strings.TrimSpace(id)
+		resp.Results[i].ID = id
+		rec, err := s.store.Get(id)
+		switch {
+		case err == nil:
+			recs = append(recs, rec)
+			live = append(live, i)
+		case errors.Is(err, store.ErrNotFound) && !explicit:
+			resp.Results[i].Error = err.Error()
+		case errors.Is(err, store.ErrNotFound):
+			writeError(w, http.StatusNotFound, "%v", err)
+			return
+		default:
+			writeError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+	}
+
+	outs, err := core.VerifyBatch(recs, src, core.BatchOptions{
+		Workers: s.workersFor(workers),
+		Cache:   s.cache,
+	})
+	if err != nil {
+		writeScanError(w, err)
+		return
+	}
+	for j, out := range outs {
+		res := &resp.Results[live[j]]
+		if out.Err != nil {
+			res.Error = out.Err.Error()
+		} else {
+			res.Match = out.Report.Match
+			res.Detected = out.Report.Detected
+			res.Verdict = verdictFor(out.Report.Match)
+			resp.Tuples = out.Report.Primary.Tuples
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // RecordInfo is the GET /v1/records/{id} reply: the certificate's public
@@ -403,10 +697,20 @@ func (s *Server) handleDeleteRecord(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleListRecords(w http.ResponseWriter, r *http.Request) {
-	ids, err := s.store.List()
+	ids, err := s.store.List() // sorted by ID: listing is deterministic
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "%v", err)
 		return
+	}
+	if v := r.URL.Query().Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, "invalid limit %q", v)
+			return
+		}
+		if n < len(ids) {
+			ids = ids[:n]
+		}
 	}
 	if ids == nil {
 		ids = []string{}
@@ -415,9 +719,13 @@ func (s *Server) handleListRecords(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
+	body := map[string]any{
 		"status":         "ok",
 		"uptime_seconds": int(time.Since(s.started).Seconds()),
 		"workers":        s.cfg.Workers,
-	})
+	}
+	if s.cache != nil {
+		body["scanner_cache"] = s.cache.Stats()
+	}
+	writeJSON(w, http.StatusOK, body)
 }

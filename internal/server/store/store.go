@@ -1,11 +1,15 @@
 // Package store persists watermark certificates (core.Record) on disk for
 // wmserver. Each record lives in its own JSON file named by a random
-// 128-bit hex ID; writes go through a temp file and an atomic rename so a
-// crash never leaves a half-written certificate, and a store-wide RWMutex
-// makes the Put/Get/List/Delete surface safe for concurrent handlers.
+// 128-bit hex ID, sharded into 256 fan-out subdirectories keyed by the
+// ID's first two hex digits so a catalog of hundreds of thousands of
+// certificates never piles into one directory; writes go through a temp
+// file and an atomic rename within the shard so a crash never leaves a
+// half-written certificate, and a store-wide RWMutex makes the
+// Put/Get/List/Delete surface safe for concurrent handlers. Open migrates
+// stores written before sharding (flat files in the root) in place.
 //
 // Records contain the owner's secret — they are exactly as sensitive as
-// the keys themselves — so files are created 0600 and the directory 0700.
+// the keys themselves — so files are created 0600 and directories 0700.
 package store
 
 import (
@@ -38,7 +42,8 @@ type Store struct {
 	mu  sync.RWMutex
 }
 
-// Open creates the directory if needed and returns a store over it.
+// Open creates the directory if needed, migrates any pre-sharding flat
+// record files into their shards, and returns a store over it.
 func Open(dir string) (*Store, error) {
 	if dir == "" {
 		return nil, errors.New("store: empty directory")
@@ -46,7 +51,38 @@ func Open(dir string) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o700); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	return &Store{dir: dir}, nil
+	s := &Store{dir: dir}
+	if err := s.migrateFlat(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// migrateFlat moves legacy root-level record files into their shard
+// subdirectories. Renames stay on one filesystem, so each move is atomic
+// and a crash mid-migration leaves every record readable (List and Get
+// would still miss nothing: unmigrated files simply move on next Open).
+func (s *Store) migrateFlat() error {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	for _, e := range entries {
+		id := strings.TrimSuffix(e.Name(), recordExt)
+		if e.IsDir() || id == e.Name() || !idPattern.MatchString(id) {
+			continue
+		}
+		if err := os.MkdirAll(s.shardDir(id), 0o700); err != nil {
+			return fmt.Errorf("store: migrating %s: %w", id, err)
+		}
+		err := os.Rename(filepath.Join(s.dir, e.Name()), s.path(id))
+		if err != nil && !errors.Is(err, os.ErrNotExist) {
+			// ErrNotExist means a concurrent Open on the same directory
+			// migrated this record first; the migration is idempotent.
+			return fmt.Errorf("store: migrating %s: %w", id, err)
+		}
+	}
+	return nil
 }
 
 // Dir returns the store's directory.
@@ -73,7 +109,11 @@ func (s *Store) Put(rec *core.Record) (string, error) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	tmp, err := os.CreateTemp(s.dir, "put-*")
+	if err := os.MkdirAll(s.shardDir(id), 0o700); err != nil {
+		return "", fmt.Errorf("store: %w", err)
+	}
+	// The temp file lives inside the shard so the rename is atomic.
+	tmp, err := os.CreateTemp(s.shardDir(id), "put-*")
 	if err != nil {
 		return "", fmt.Errorf("store: %w", err)
 	}
@@ -108,6 +148,15 @@ func (s *Store) Get(id string) (*core.Record, error) {
 	defer s.mu.RUnlock()
 	data, err := os.ReadFile(s.path(id))
 	if errors.Is(err, os.ErrNotExist) {
+		// Legacy flat layout: a record dropped in behind Open's back.
+		data, err = os.ReadFile(filepath.Join(s.dir, id+recordExt))
+		if errors.Is(err, os.ErrNotExist) {
+			// A concurrent Open may have migrated the flat file into its
+			// shard between the two reads; check the shard once more.
+			data, err = os.ReadFile(s.path(id))
+		}
+	}
+	if errors.Is(err, os.ErrNotExist) {
 		return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
 	}
 	if err != nil {
@@ -129,6 +178,13 @@ func (s *Store) Delete(id string) error {
 	defer s.mu.Unlock()
 	err := os.Remove(s.path(id))
 	if errors.Is(err, os.ErrNotExist) {
+		err = os.Remove(filepath.Join(s.dir, id+recordExt))
+		if errors.Is(err, os.ErrNotExist) {
+			// See Get: a concurrent Open may have just migrated the file.
+			err = os.Remove(s.path(id))
+		}
+	}
+	if errors.Is(err, os.ErrNotExist) {
 		return fmt.Errorf("%w: %s", ErrNotFound, id)
 	}
 	if err != nil {
@@ -136,6 +192,9 @@ func (s *Store) Delete(id string) error {
 	}
 	return nil
 }
+
+// shardPattern is the shape of shard subdirectory names.
+var shardPattern = regexp.MustCompile(`^[0-9a-f]{2}$`)
 
 // List returns the IDs of every stored record, sorted.
 func (s *Store) List() ([]string, error) {
@@ -146,18 +205,36 @@ func (s *Store) List() ([]string, error) {
 		return nil, fmt.Errorf("store: %w", err)
 	}
 	var ids []string
-	for _, e := range entries {
-		name := e.Name()
-		id := strings.TrimSuffix(name, recordExt)
-		if e.IsDir() || id == name || !idPattern.MatchString(id) {
-			continue // temp files, strays
+	collect := func(entries []os.DirEntry) {
+		for _, e := range entries {
+			name := e.Name()
+			id := strings.TrimSuffix(name, recordExt)
+			if e.IsDir() || id == name || !idPattern.MatchString(id) {
+				continue // temp files, strays
+			}
+			ids = append(ids, id)
 		}
-		ids = append(ids, id)
+	}
+	collect(entries) // flat files dropped in behind Open's back still list
+	for _, e := range entries {
+		if !e.IsDir() || !shardPattern.MatchString(e.Name()) {
+			continue
+		}
+		sub, err := os.ReadDir(filepath.Join(s.dir, e.Name()))
+		if err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+		collect(sub)
 	}
 	sort.Strings(ids)
 	return ids, nil
 }
 
+// shardDir returns the fan-out subdirectory a record ID lives in.
+func (s *Store) shardDir(id string) string {
+	return filepath.Join(s.dir, id[:2])
+}
+
 func (s *Store) path(id string) string {
-	return filepath.Join(s.dir, id+recordExt)
+	return filepath.Join(s.shardDir(id), id+recordExt)
 }

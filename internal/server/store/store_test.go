@@ -3,6 +3,9 @@ package store
 import (
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
 	"sync"
 	"testing"
 
@@ -137,5 +140,110 @@ func TestConcurrentAccess(t *testing.T) {
 	}
 	if len(ids) != 64 {
 		t.Fatalf("have %d records, want 64", len(ids))
+	}
+}
+
+// TestShardedLayout asserts records land in their two-hex-digit fan-out
+// subdirectory and List returns them sorted across shards.
+func TestShardedLayout(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []string
+	for i := 0; i < 16; i++ {
+		id, err := s.Put(testRecord("1011"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+		if _, err := os.Stat(filepath.Join(dir, id[:2], id+recordExt)); err != nil {
+			t.Fatalf("record %s not in its shard: %v", id, err)
+		}
+	}
+	listed, err := s.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(listed) != len(ids) {
+		t.Fatalf("listed %d, want %d", len(listed), len(ids))
+	}
+	if !sort.StringsAreSorted(listed) {
+		t.Fatalf("List not sorted: %v", listed)
+	}
+	sort.Strings(ids)
+	for i := range ids {
+		if listed[i] != ids[i] {
+			t.Fatalf("List mismatch at %d: %s != %s", i, listed[i], ids[i])
+		}
+	}
+}
+
+// TestOpenMigratesFlatStore lays out a pre-sharding store (flat files in
+// the root, as PR 1 wrote them) and asserts Open moves every record into
+// its shard with nothing lost.
+func TestOpenMigratesFlatStore(t *testing.T) {
+	dir := t.TempDir()
+	var ids []string
+	for i := 0; i < 4; i++ {
+		id, err := NewID()
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := testRecord("1011").Save()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, id+recordExt), data, 0o600); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	// A stray that must survive untouched.
+	if err := os.WriteFile(filepath.Join(dir, "notes.txt"), []byte("keep"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range ids {
+		if _, err := os.Stat(filepath.Join(dir, id+recordExt)); !errors.Is(err, os.ErrNotExist) {
+			t.Fatalf("flat file %s not migrated: %v", id, err)
+		}
+		if _, err := s.Get(id); err != nil {
+			t.Fatalf("migrated record %s unreadable: %v", id, err)
+		}
+	}
+	listed, err := s.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(listed) != len(ids) {
+		t.Fatalf("listed %d after migration, want %d", len(listed), len(ids))
+	}
+	if _, err := os.Stat(filepath.Join(dir, "notes.txt")); err != nil {
+		t.Fatalf("stray file disturbed: %v", err)
+	}
+
+	// A flat record dropped in behind Open's back still resolves.
+	id, err := NewID()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := testRecord("1100").Save()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, id+recordExt), data, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get(id); err != nil {
+		t.Fatalf("legacy fallback Get: %v", err)
+	}
+	if err := s.Delete(id); err != nil {
+		t.Fatalf("legacy fallback Delete: %v", err)
 	}
 }
