@@ -5,11 +5,15 @@ package repro_test
 // and CSV files, the way a downstream user would.
 
 import (
+	"net"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
+	"regexp"
 	"strings"
 	"testing"
+	"time"
 )
 
 const itemScanSpec = "Visit_Nbr:int!key, Item_Nbr:int:categorical"
@@ -357,4 +361,91 @@ func TestCLIBatchVerify(t *testing.T) {
 	runExpectFail(t, bins["wmtool"], "verify", "-in", marked, "-schema", itemScanSpec,
 		"-record", recordA, "-records", recordA+","+recordB)
 	runExpectFail(t, bins["wmtool"], "verify", "-in", marked, "-schema", itemScanSpec)
+}
+
+// TestCLIRemoteMode drives the SDK-backed remote mode end to end with
+// real processes: a wmtool-serve server, then watermark/verify/audit
+// against it over HTTP — the certificate living only in the server's
+// store, addressed by ID.
+func TestCLIRemoteMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries and runs a server")
+	}
+	bins := buildCommands(t)
+	dir := t.TempDir()
+	data := filepath.Join(dir, "itemscan.csv")
+	marked := filepath.Join(dir, "marked.csv")
+
+	run(t, bins["wmdatagen"], "-dataset", "itemscan", "-n", "6000",
+		"-catalog", "300", "-seed", "cli-remote", "-out", data, "-domains-dir", dir)
+
+	// Grab a free port, then hand it to the server process.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	serverURL := "http://" + addr
+
+	srv := exec.Command(bins["wmtool"], "serve", "-addr", addr,
+		"-store", filepath.Join(dir, "store"), "-workers", "2", "-job-workers", "2")
+	var srvOut strings.Builder
+	srv.Stdout, srv.Stderr = &srvOut, &srvOut
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		srv.Process.Signal(os.Interrupt) //nolint:errcheck
+		srv.Wait()                       //nolint:errcheck
+	})
+	// Wait for liveness.
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		resp, err := http.Get(serverURL + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never came up: %v\n%s", err, srvOut.String())
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// Remote watermark: certificate stored server-side, ID printed.
+	out := run(t, bins["wmtool"], "watermark", "-server", serverURL,
+		"-in", data, "-schema", itemScanSpec, "-attr", "Item_Nbr",
+		"-secret", "cli-remote-secret", "-wm", "1011001110", "-e", "40",
+		"-domain", filepath.Join(dir, "Item_Nbr.domain"), "-out", marked)
+	m := regexp.MustCompile(`certificate stored server-side: id ([0-9a-f]{32})`).FindStringSubmatch(out)
+	if m == nil {
+		t.Fatalf("watermark -server output lacks certificate id:\n%s", out)
+	}
+	certID := m[1]
+
+	// Remote verify by stored ID, suspect streamed from disk.
+	out = run(t, bins["wmtool"], "verify", "-server", serverURL,
+		"-in", marked, "-schema", itemScanSpec, "-record", certID)
+	if !strings.Contains(out, "bit agreement:      100.0%") ||
+		!strings.Contains(out, "WATERMARK PRESENT") {
+		t.Fatalf("verify -server output:\n%s", out)
+	}
+
+	// Async audit job: submit, wait, per-certificate verdicts.
+	out = run(t, bins["wmtool"], "audit", "-server", serverURL,
+		"-in", marked, "-schema", itemScanSpec, "-poll", "20ms")
+	if !strings.Contains(out, "audit job job-") || !strings.Contains(out, "done in") {
+		t.Fatalf("audit output lacks job lifecycle:\n%s", out)
+	}
+	if !strings.Contains(out, certID) || !strings.Contains(out, "WATERMARK PRESENT") {
+		t.Fatalf("audit verdicts wrong:\n%s", out)
+	}
+
+	// The pristine file must not audit as present.
+	out = run(t, bins["wmtool"], "audit", "-server", serverURL,
+		"-in", data, "-schema", itemScanSpec, "-poll", "20ms")
+	if strings.Contains(out, "WATERMARK PRESENT") {
+		t.Fatalf("pristine data audited as present:\n%s", out)
+	}
 }

@@ -25,12 +25,16 @@ func main() {
 	workers := flag.Int("workers", 0, "default pipeline workers per job (0 = NumCPU)")
 	maxBody := flag.Int64("max-body", server.DefaultMaxBodyBytes, "maximum request body bytes")
 	scannerCache := flag.Int("scanner-cache", 0, "prepared-certificate cache entries (0 = default, negative = disable)")
+	jobWorkers := flag.Int("job-workers", 0, "concurrent async jobs (0 = default)")
+	jobQueue := flag.Int("job-queue", 0, "async job queue depth; beyond it POST /v2/jobs replies 429 (0 = default)")
 	flag.Parse()
 
 	err := server.Run(*addr, *storeDir, server.Config{
 		Workers:             *workers,
 		MaxBodyBytes:        *maxBody,
 		ScannerCacheEntries: *scannerCache,
+		JobWorkers:          *jobWorkers,
+		JobQueueDepth:       *jobQueue,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "wmserver:", err)

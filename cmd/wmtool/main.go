@@ -8,7 +8,8 @@
 //	wmtool verify  -in suspect.csv -schema SPEC -record cert.json | -records a.json,b.json,c.json
 //	wmtool attack  -in marked.csv -schema SPEC -type T [-frac F] [-attr A] [-seed S] -out attacked.csv
 //	wmtool analyze [-n N] [-e E] [-a A] [-p P] [-r R] [-theta T]
-//	wmtool serve   [-addr :8080] [-store DIR] [-workers N] [-scanner-cache N]
+//	wmtool audit   -server URL -in suspect.csv -schema SPEC [-records id1,id2] [-nowait]
+//	wmtool serve   [-addr :8080] [-store DIR] [-workers N] [-scanner-cache N] [-job-workers N]
 //
 // SPEC is the schema grammar of internal/relation, e.g.
 // "Visit_Nbr:int!key, Item_Nbr:int:categorical". Attack types: subset,
@@ -18,17 +19,30 @@
 // chunked worker pool of internal/pipeline (1 = sequential, 0 = NumCPU);
 // verify -records checks a suspect against many certificates in ONE
 // streaming scan; serve runs the wmserver HTTP API in-process.
+//
+// Remote mode: watermark and verify accept -server URL to run against a
+// live wmserver through the internal/client SDK instead of locally — the
+// certificate then lives in the server's store and is addressed by ID
+// (watermark prints it; verify's -record / -records then take stored IDs,
+// the suspect streaming from disk to the server's detection pipeline). audit
+// is remote-only: it submits an async batch-verification job
+// (POST /v2/jobs), polls it to completion, and prints the
+// per-certificate reports.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/analysis"
+	"repro/internal/api"
 	"repro/internal/attacks"
+	"repro/internal/client"
 	"repro/internal/core"
 	"repro/internal/ecc"
 	"repro/internal/keyhash"
@@ -58,6 +72,8 @@ func main() {
 		err = cmdAttack(os.Args[2:])
 	case "analyze":
 		err = cmdAnalyze(os.Args[2:])
+	case "audit":
+		err = cmdAudit(os.Args[2:])
 	case "serve":
 		err = cmdServe(os.Args[2:])
 	case "-h", "--help", "help":
@@ -83,7 +99,11 @@ commands:
   detect     low-level: blindly recover a watermark
   attack     apply an adversary-model attack (A1-A6)
   analyze    Section 4.4 vulnerability mathematics
+  audit      submit an async corpus audit to a wmserver and await the verdicts
   serve      run the wmserver HTTP API in-process
+
+watermark and verify accept -server URL to run against a live wmserver
+(certificates stored server-side, addressed by ID).
 
 run 'wmtool <command> -h' for flags`)
 }
@@ -179,7 +199,7 @@ func cmdEmbed(args []string) error {
 		Code:    code,
 		Domain:  dom,
 	}
-	st, err := pipeline.Embed(r, wm, opts, pipeline.Config{Workers: *parallel})
+	st, err := pipeline.Embed(context.Background(), r, wm, opts, pipeline.Config{Workers: *parallel})
 	if err != nil {
 		return err
 	}
@@ -238,7 +258,7 @@ func cmdDetect(args []string) error {
 		Domain:            dom,
 		BandwidthOverride: *bw,
 	}
-	rep, err := pipeline.Detect(r, *wmLen, opts, pipeline.Config{Workers: *parallel})
+	rep, err := pipeline.Detect(context.Background(), r, *wmLen, opts, pipeline.Config{Workers: *parallel})
 	if err != nil {
 		return err
 	}
@@ -275,10 +295,17 @@ func cmdWatermark(args []string) error {
 	withFreq := fs.Bool("frequency-channel", false, "additionally embed into the occurrence histogram (survives extreme vertical partitions)")
 	maxAlter := fs.Float64("max-alteration", 0, "quality budget: maximum fraction of tuples altered (0 = unlimited)")
 	out := fs.String("out", "", "output CSV")
-	recordPath := fs.String("record", "", "output watermark certificate (JSON, secret!)")
+	recordPath := fs.String("record", "", "output watermark certificate (JSON, secret!); local mode only")
 	parallel := fs.Int("parallel", 1, "pipeline workers (1 = sequential, 0 = NumCPU)")
+	serverURL := fs.String("server", "", "wmserver base URL: embed remotely, certificate stored server-side")
 	fs.Parse(args)
 
+	if *serverURL != "" {
+		if *in == "" || *spec == "" || *attr == "" || *secret == "" || *wmStr == "" || *out == "" {
+			return fmt.Errorf("watermark -server: -in, -schema, -attr, -secret, -wm, -out are required")
+		}
+		return remoteWatermark(*serverURL, *in, *spec, *attr, *secret, *wmStr, *domainPath, *out, *e, *withFreq, *maxAlter, *parallel)
+	}
 	if *in == "" || *spec == "" || *attr == "" || *secret == "" || *wmStr == "" || *out == "" || *recordPath == "" {
 		return fmt.Errorf("watermark: -in, -schema, -attr, -secret, -wm, -out, -record are required")
 	}
@@ -338,22 +365,20 @@ func cmdVerify(args []string) error {
 	fs := flag.NewFlagSet("verify", flag.ExitOnError)
 	in := fs.String("in", "", "suspect CSV")
 	spec := fs.String("schema", "", "schema spec")
-	recordPath := fs.String("record", "", "watermark certificate (JSON)")
-	recordPaths := fs.String("records", "", "comma-separated certificate files: verify all against ONE streaming scan of -in")
+	recordPath := fs.String("record", "", "watermark certificate (JSON file; a stored ID with -server)")
+	recordPaths := fs.String("records", "", "comma-separated certificate files (stored IDs with -server): verify all against ONE streaming scan of -in")
 	parallel := fs.Int("parallel", 1, "pipeline workers (1 = sequential, 0 = NumCPU)")
+	serverURL := fs.String("server", "", "wmserver base URL: verify remotely against stored certificates, streaming the suspect from disk")
 	fs.Parse(args)
 
 	if *in == "" || *spec == "" || (*recordPath == "") == (*recordPaths == "") {
 		return fmt.Errorf("verify: -in, -schema, and exactly one of -record / -records are required")
 	}
+	if *serverURL != "" {
+		return remoteVerify(*serverURL, *in, *spec, *recordPath, splitList(*recordPaths), *parallel)
+	}
 	if *recordPaths != "" {
-		var paths []string
-		for _, p := range strings.Split(*recordPaths, ",") {
-			if p = strings.TrimSpace(p); p != "" {
-				paths = append(paths, p)
-			}
-		}
-		return verifyBatch(*in, *spec, paths, specWorkers(*parallel))
+		return verifyBatch(*in, *spec, splitList(*recordPaths), specWorkers(*parallel))
 	}
 	data, err := os.ReadFile(*recordPath)
 	if err != nil {
@@ -429,7 +454,7 @@ func verifyBatch(in, spec string, recordPaths []string, workers int) error {
 	if err != nil {
 		return err
 	}
-	outs, err := core.VerifyBatch(records, src, core.BatchOptions{Workers: workers})
+	outs, err := core.VerifyBatch(context.Background(), records, src, core.BatchOptions{Workers: workers})
 	if err != nil {
 		return err
 	}
@@ -528,12 +553,16 @@ func cmdServe(args []string) error {
 	workers := fs.Int("workers", 0, "default pipeline workers per job (0 = NumCPU)")
 	maxBody := fs.Int64("max-body", server.DefaultMaxBodyBytes, "maximum request body bytes")
 	scannerCache := fs.Int("scanner-cache", 0, "prepared-certificate cache entries (0 = default, negative = disable)")
+	jobWorkers := fs.Int("job-workers", 0, "concurrent async jobs (0 = default)")
+	jobQueue := fs.Int("job-queue", 0, "async job queue depth; beyond it POST /v2/jobs replies 429 (0 = default)")
 	fs.Parse(args)
 
 	return server.Run(*addr, *storeDir, server.Config{
 		Workers:             *workers,
 		MaxBodyBytes:        *maxBody,
 		ScannerCacheEntries: *scannerCache,
+		JobWorkers:          *jobWorkers,
+		JobQueueDepth:       *jobQueue,
 		Log:                 log.New(os.Stderr, "wmtool serve: ", log.LstdFlags),
 	})
 }
@@ -590,4 +619,179 @@ func cmdAnalyze(args []string) error {
 		cap.RobustBits, *theta*100)
 	fmt.Printf("  frequency-histogram channel:      %d bits\n", cap.FrequencyBits)
 	return nil
+}
+
+// ---- remote mode: the CLI as the SDK's first consumer ----
+
+// splitList parses a comma-separated flag value, tolerating blanks.
+func splitList(raw string) []string {
+	var out []string
+	for _, v := range strings.Split(raw, ",") {
+		if v = strings.TrimSpace(v); v != "" {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// sdkWorkers maps the CLI -parallel convention onto the wire workers
+// field, where 0 means "server default".
+func sdkWorkers(parallel int) int {
+	if parallel <= 1 {
+		return 0
+	}
+	return parallel
+}
+
+// remoteWatermark embeds over a running wmserver: the relation travels
+// inline, the certificate stays in the server's store, and the marked
+// copy lands in outPath.
+func remoteWatermark(serverURL, in, spec, attr, secret, wmStr, domainPath, outPath string, e uint64, withFreq bool, maxAlter float64, parallel int) error {
+	data, err := os.ReadFile(in)
+	if err != nil {
+		return err
+	}
+	var domain []string
+	if domainPath != "" {
+		dom, err := loadDomain(domainPath)
+		if err != nil {
+			return err
+		}
+		domain = dom.Values()
+	}
+	c := client.New(serverURL)
+	resp, err := c.Watermark(context.Background(), api.WatermarkRequest{
+		Schema:                spec,
+		Data:                  string(data),
+		Secret:                secret,
+		Attribute:             attr,
+		WM:                    wmStr,
+		E:                     e,
+		Domain:                domain,
+		FrequencyChannel:      withFreq,
+		MaxAlterationFraction: maxAlter,
+		Workers:               sdkWorkers(parallel),
+	})
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, []byte(resp.Data), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("watermarked %s via %s (%d tuples)\n", outPath, serverURL, resp.Tuples)
+	fmt.Printf("  key channel: %d fit, %d altered (%.2f%% of data)\n",
+		resp.Fit, resp.Altered, resp.AlterationRate*100)
+	fmt.Printf("  certificate stored server-side: id %s\n", resp.ID)
+	fmt.Printf("  verify later with: wmtool verify -server %s -record %s -in SUSPECT.csv -schema '%s'\n",
+		serverURL, resp.ID, spec)
+	return nil
+}
+
+// remoteVerify checks a suspect file against stored certificates on a
+// running wmserver. The suspect streams from disk straight into the
+// server's detection pipeline (text/csv body) — it is never held in
+// memory on either side.
+func remoteVerify(serverURL, in, spec, recordID string, recordIDs []string, parallel int) error {
+	f, err := os.Open(in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	c := client.New(serverURL)
+	opts := client.StreamOptions{Schema: spec, Workers: sdkWorkers(parallel)}
+
+	if recordID != "" {
+		rep, err := c.VerifyStream(context.Background(), recordID, f, opts)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("verification of %s against %s (server %s)\n", in, recordID, serverURL)
+		fmt.Printf("  detected watermark: %s\n", rep.Detected)
+		fmt.Printf("  bit agreement:      %.1f%%\n", rep.Match*100)
+		fmt.Printf("  chance of a full %d-bit match on unmarked data: %.3g\n",
+			len(rep.Detected), rep.FalsePositiveProb)
+		fmt.Printf("verdict: %s\n", verdictString(rep.Match))
+		return nil
+	}
+
+	resp, err := c.VerifyBatchStream(context.Background(), recordIDs, f, opts)
+	if err != nil {
+		return err
+	}
+	printBatchResults(in, serverURL, resp)
+	return nil
+}
+
+// printBatchResults renders per-certificate audit verdicts.
+func printBatchResults(in, serverURL string, resp *api.BatchVerifyResponse) {
+	fmt.Printf("batch verification of %s against %d certificates (server %s, one scan, %d tuples)\n",
+		in, len(resp.Results), serverURL, resp.Tuples)
+	for _, res := range resp.Results {
+		if res.Error != "" {
+			fmt.Printf("  %-34s error: %s\n", res.ID, res.Error)
+			continue
+		}
+		fmt.Printf("  %-34s match %5.1f%%  %s\n", res.ID, res.Match*100, verdictString(res.Match))
+	}
+}
+
+// cmdAudit submits an async batch-verification job to a wmserver and —
+// unless -nowait — polls it to completion and prints the per-certificate
+// reports. This is the court-grade corpus audit as a job resource: the
+// upload returns immediately, the scan runs on the server's job pool,
+// and Ctrl-C'ing the wait leaves the job running server-side (cancel it
+// with DELETE /v2/jobs/{id} if that is not wanted).
+func cmdAudit(args []string) error {
+	fs := flag.NewFlagSet("audit", flag.ExitOnError)
+	serverURL := fs.String("server", "", "wmserver base URL (required)")
+	in := fs.String("in", "", "suspect CSV")
+	spec := fs.String("schema", "", "schema spec")
+	records := fs.String("records", "", "comma-separated stored certificate IDs (empty = whole catalog)")
+	workers := fs.Int("parallel", 0, "server-side scan workers (0 = server default)")
+	nowait := fs.Bool("nowait", false, "submit and print the job ID without waiting")
+	poll := fs.Duration("poll", client.DefaultPollInterval, "poll interval while waiting")
+	fs.Parse(args)
+
+	if *serverURL == "" || *in == "" || *spec == "" {
+		return fmt.Errorf("audit: -server, -in, -schema are required")
+	}
+	data, err := os.ReadFile(*in)
+	if err != nil {
+		return err
+	}
+	c := client.New(*serverURL)
+	ctx := context.Background()
+	job, err := c.SubmitJob(ctx, api.JobRequest{
+		Kind: api.JobKindVerifyBatch,
+		VerifyBatch: &api.BatchVerifyRequest{
+			Records: splitList(*records),
+			Schema:  *spec,
+			Data:    string(data),
+			Workers: *workers,
+		},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("audit job %s submitted (%s)\n", job.ID, job.State)
+	if *nowait {
+		fmt.Printf("poll with: curl %s/v2/jobs/%s\n", *serverURL, job.ID)
+		return nil
+	}
+
+	start := time.Now()
+	final, err := c.WaitJob(ctx, job.ID, *poll)
+	if err != nil {
+		return err
+	}
+	switch final.State {
+	case api.JobDone:
+		fmt.Printf("job %s done in %s\n", final.ID, time.Since(start).Round(time.Millisecond))
+		printBatchResults(*in, *serverURL, final.VerifyBatch)
+		return nil
+	case api.JobCancelled:
+		return fmt.Errorf("audit: job %s was cancelled", final.ID)
+	default:
+		return fmt.Errorf("audit: job %s failed: %v", final.ID, final.Error)
+	}
 }

@@ -1,0 +1,172 @@
+// Sdkaudit drives the ownership-audit service end to end through the Go
+// SDK (internal/client) — the programmatic consumer the v2 API exists
+// for. An in-process wmserver is stood up over httptest; three owners
+// register watermarked datasets; a doctored copy of one surfaces; an
+// async audit job (POST /v2/jobs) checks the suspect corpus against the
+// whole certificate catalog in ONE scan, is polled to completion, and
+// names the owner. A second, deliberately huge job is cancelled mid-scan
+// to show context cancellation stopping the workers.
+//
+//	go run ./examples/sdkaudit
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/attacks"
+	"repro/internal/client"
+	"repro/internal/datagen"
+	"repro/internal/relation"
+	"repro/internal/server"
+	"repro/internal/server/store"
+	"repro/internal/stats"
+)
+
+const schemaSpec = "Visit_Nbr:int!key, Item_Nbr:int:categorical"
+
+func main() {
+	ctx := context.Background()
+
+	fmt.Println("=== 1. An audit service comes up ================================")
+	dir, err := os.MkdirTemp("", "sdkaudit-store-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	st, err := store.Open(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := server.New(st, server.Config{Workers: 4, JobWorkers: 2})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	c := client.New(ts.URL)
+	fmt.Printf("wmserver listening at %s (store %s)\n\n", ts.URL, dir)
+
+	fmt.Println("=== 2. Three owners register watermarked datasets ===============")
+	r, catalog, err := datagen.ItemScan(datagen.ItemScanConfig{
+		N: 20000, CatalogSize: 500, ZipfS: 1.0, Seed: "sdkaudit",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var csv strings.Builder
+	if err := relation.WriteCSV(&csv, r); err != nil {
+		log.Fatal(err)
+	}
+	owners := []string{"alice", "bob", "carol"}
+	marked := make(map[string]*api.WatermarkResponse, len(owners))
+	for i, owner := range owners {
+		resp, err := c.Watermark(ctx, api.WatermarkRequest{
+			Schema:    schemaSpec,
+			Data:      csv.String(),
+			Secret:    owner + "-master-secret",
+			Attribute: "Item_Nbr",
+			WM:        fmt.Sprintf("10%08b", 37*i+5),
+			E:         40,
+			Domain:    catalog.Values(),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		marked[owner] = resp
+		fmt.Printf("%s registers certificate %s (%.2f%% of tuples altered)\n",
+			owner, resp.ID, resp.AlterationRate*100)
+	}
+	fmt.Println()
+
+	fmt.Println("=== 3. A doctored copy of Bob's dataset surfaces ================")
+	schema, err := relation.ParseSchemaSpec(schemaSpec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bobRel, err := relation.ReadCSV(strings.NewReader(marked["bob"].Data), schema)
+	if err != nil {
+		log.Fatal(err)
+	}
+	src := stats.NewSource("pirate")
+	stolen, err := attacks.HorizontalSubset(bobRel, 0.7, src.Fork("subset"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	stolen = attacks.Resort(stolen, src.Fork("shuffle"))
+	var suspect strings.Builder
+	if err := relation.WriteCSV(&suspect, stolen); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("the pirated copy kept %d of %d tuples, re-shuffled\n\n", stolen.Len(), bobRel.Len())
+
+	fmt.Println("=== 4. Audit the suspect against the WHOLE catalog, as a job ====")
+	job, err := c.SubmitJob(ctx, api.JobRequest{
+		Kind: api.JobKindVerifyBatch,
+		VerifyBatch: &api.BatchVerifyRequest{
+			Schema: schemaSpec, // empty Records: every stored certificate
+			Data:   suspect.String(),
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("job %s submitted (%s); polling…\n", job.ID, job.State)
+	final, err := c.WaitJob(ctx, job.ID, 50*time.Millisecond)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if final.State != api.JobDone {
+		log.Fatalf("job ended %s: %v", final.State, final.Error)
+	}
+	fmt.Printf("job done: %d certificates checked against one %d-tuple scan\n",
+		len(final.VerifyBatch.Results), final.VerifyBatch.Tuples)
+	idToOwner := map[string]string{}
+	for owner, resp := range marked {
+		idToOwner[resp.ID] = owner
+	}
+	for _, res := range final.VerifyBatch.Results {
+		fmt.Printf("  %-6s match %5.1f%%  verdict: %s\n",
+			idToOwner[res.ID], res.Match*100, res.Verdict)
+	}
+	fmt.Println()
+
+	fmt.Println("=== 5. Cancelling a runaway audit mid-scan ======================")
+	var big strings.Builder
+	big.WriteString("Visit_Nbr,Item_Nbr\n")
+	for i := 0; i < 1_500_000; i++ {
+		fmt.Fprintf(&big, "%d,%d\n", i, i%500)
+	}
+	runaway, err := c.SubmitJob(ctx, api.JobRequest{
+		Kind: api.JobKindVerifyBatch,
+		VerifyBatch: &api.BatchVerifyRequest{
+			Schema: schemaSpec, Data: big.String(), Workers: 1,
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for {
+		cur, err := c.Job(ctx, runaway.ID)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if cur.State != api.JobQueued {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if _, err := c.CancelJob(ctx, runaway.ID); err != nil {
+		log.Fatal(err)
+	}
+	cancelled, err := c.WaitJob(ctx, runaway.ID, 20*time.Millisecond)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("job %s: state %s (error code %q) — scan workers exited via context\n",
+		runaway.ID, cancelled.State, cancelled.Error.Code)
+}

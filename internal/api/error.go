@@ -1,0 +1,122 @@
+// Package api holds the wire contract of the watermarking service: every
+// request, response, resource and error shape that travels between
+// internal/server and its consumers (the internal/client Go SDK, wmtool's
+// remote mode, curl users). The server marshals these types and nothing
+// else; the CI grep gate enforces that internal/server declares no wire
+// structs of its own.
+//
+// Versioning: the same types back both /v1 and /v2 routes. /v1 keeps its
+// original JSON shapes bit-for-bit (the error envelope only gained the
+// machine-readable "code" field, and record listings paginate via the
+// X-Next-After response header); /v2 adds the job resources, cursor
+// pagination in the body, and nothing incompatible.
+package api
+
+import (
+	"fmt"
+	"net/http"
+)
+
+// Stable machine-readable error codes. Clients dispatch on these, never
+// on message text; messages may change wording, codes may not.
+const (
+	// CodeInvalidArgument: the request is malformed or semantically
+	// invalid — retrying unchanged is pointless. HTTP 400.
+	CodeInvalidArgument = "invalid_argument"
+	// CodeNotFound: the addressed resource (record, job, route) does not
+	// exist. HTTP 404.
+	CodeNotFound = "not_found"
+	// CodeMethodNotAllowed: the path exists but not for this HTTP method;
+	// the Allow response header lists the methods that do. HTTP 405.
+	CodeMethodNotAllowed = "method_not_allowed"
+	// CodePayloadTooLarge: the request body tripped the server's size
+	// limit — shrink (or stream in pages) and retry. HTTP 413.
+	CodePayloadTooLarge = "payload_too_large"
+	// CodeConflict: the operation cannot apply to the resource's current
+	// state (e.g. cancelling a finished job). HTTP 409.
+	CodeConflict = "conflict"
+	// CodeQueueFull: the async job queue is at capacity — back off and
+	// resubmit. HTTP 429.
+	CodeQueueFull = "queue_full"
+	// CodeCancelled: the work was cancelled before completing (job
+	// cancellation, client disconnect, server shutdown). HTTP 499 when it
+	// must travel as a status; usually seen inside a Job's error field.
+	CodeCancelled = "cancelled"
+	// CodeInternal: the server failed; the request may be retried. HTTP 500.
+	CodeInternal = "internal"
+)
+
+// Error is the uniform error envelope. The JSON keeps /v1's original
+// {"error": "<message>"} shape and adds the stable "code"; decoding a
+// pre-code v1 body therefore still works (Code is simply empty).
+type Error struct {
+	// Code is one of the Code* constants.
+	Code string `json:"code,omitempty"`
+	// Message is the human-readable description.
+	Message string `json:"error"`
+}
+
+// Error implements the error interface, so SDK callers can errors.As a
+// failed call into *api.Error and read the code.
+func (e *Error) Error() string {
+	if e.Code == "" {
+		return e.Message
+	}
+	return e.Code + ": " + e.Message
+}
+
+// Errorf builds an Error with a formatted message.
+func Errorf(code, format string, args ...any) *Error {
+	return &Error{Code: code, Message: fmt.Sprintf(format, args...)}
+}
+
+// statusCancelled is the non-standard "client closed request" status
+// popularized by nginx — the only honest status for work cancelled
+// mid-flight.
+const statusCancelled = 499
+
+// HTTPStatus maps the error's code onto the HTTP status it travels with.
+func (e *Error) HTTPStatus() int {
+	switch e.Code {
+	case CodeInvalidArgument:
+		return http.StatusBadRequest
+	case CodeNotFound:
+		return http.StatusNotFound
+	case CodeMethodNotAllowed:
+		return http.StatusMethodNotAllowed
+	case CodePayloadTooLarge:
+		return http.StatusRequestEntityTooLarge
+	case CodeConflict:
+		return http.StatusConflict
+	case CodeQueueFull:
+		return http.StatusTooManyRequests
+	case CodeCancelled:
+		return statusCancelled
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// CodeForStatus is HTTPStatus's inverse, for reconstructing a typed error
+// from a status when a response body carried no code (proxies, old
+// servers).
+func CodeForStatus(status int) string {
+	switch status {
+	case http.StatusBadRequest:
+		return CodeInvalidArgument
+	case http.StatusNotFound:
+		return CodeNotFound
+	case http.StatusMethodNotAllowed:
+		return CodeMethodNotAllowed
+	case http.StatusRequestEntityTooLarge:
+		return CodePayloadTooLarge
+	case http.StatusConflict:
+		return CodeConflict
+	case http.StatusTooManyRequests:
+		return CodeQueueFull
+	case statusCancelled:
+		return CodeCancelled
+	default:
+		return CodeInternal
+	}
+}

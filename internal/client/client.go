@@ -1,0 +1,362 @@
+// Package client is the Go SDK for the wmserver HTTP API — the
+// programmatic face of the ownership-audit service. It speaks the /v2
+// routes exclusively, marshals the shared wire types of internal/api,
+// and turns error envelopes back into typed *api.Error values callers
+// can dispatch on:
+//
+//	c := client.New("http://localhost:8080")
+//	wm, err := c.Watermark(ctx, api.WatermarkRequest{...})
+//	job, err := c.SubmitJob(ctx, api.JobRequest{Kind: api.JobKindVerifyBatch, ...})
+//	job, err = c.WaitJob(ctx, job.ID, 0)         // poll to a terminal state
+//	var apiErr *api.Error
+//	if errors.As(err, &apiErr) && apiErr.Code == api.CodeNotFound { ... }
+//
+// Every method takes a context.Context; cancelling it aborts the HTTP
+// exchange, and — because the server threads request contexts into its
+// scan pipeline — also stops the server-side work the call started.
+// VerifyStream and VerifyBatchStream upload suspect datasets as raw
+// text/csv or application/x-ndjson bodies straight from an io.Reader, so
+// a multi-gigabyte corpus flows from disk to the server's detection
+// pipeline without either side materializing it.
+//
+// wmtool's remote mode (-server) is built entirely on this package.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/api"
+)
+
+// Client talks to one wmserver base URL. The zero value is not usable;
+// construct with New.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// Option customises a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying *http.Client (timeouts,
+// transports, test doubles). The default is http.DefaultClient.
+func WithHTTPClient(hc *http.Client) Option {
+	return func(c *Client) { c.hc = hc }
+}
+
+// New builds a client for the server at baseURL (e.g.
+// "http://localhost:8080"); a trailing slash is tolerated.
+func New(baseURL string, opts ...Option) *Client {
+	c := &Client{base: strings.TrimRight(baseURL, "/"), hc: http.DefaultClient}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// do runs one JSON exchange: method+path with an optional JSON request
+// body, decoding a 2xx response into out (unless nil) and any error
+// status into a typed *api.Error.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		data, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("client: encoding request: %w", err)
+		}
+		body = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return fmt.Errorf("client: %w", err)
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", api.ContentTypeJSON)
+	}
+	return c.exchange(req, out)
+}
+
+// exchange sends req and decodes the response.
+func (c *Client) exchange(req *http.Request, out any) error {
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("client: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return decodeAPIError(resp)
+	}
+	if out == nil {
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck // drain for keep-alive
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("client: decoding response: %w", err)
+	}
+	return nil
+}
+
+// decodeAPIError reconstructs the typed error from an error response. A
+// body that is not an envelope (a proxy's HTML, an empty 502) still
+// yields an *api.Error, with the code derived from the status.
+func decodeAPIError(resp *http.Response) error {
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 64<<10))
+	var e api.Error
+	if err := json.Unmarshal(data, &e); err == nil && e.Message != "" {
+		if e.Code == "" {
+			e.Code = api.CodeForStatus(resp.StatusCode)
+		}
+		return &e
+	}
+	msg := strings.TrimSpace(string(data))
+	if msg == "" {
+		msg = resp.Status
+	}
+	return api.Errorf(api.CodeForStatus(resp.StatusCode), "%s", msg)
+}
+
+// Watermark embeds a watermark synchronously: the relation travels
+// inline, the certificate is stored server-side, and the marked data
+// comes back.
+func (c *Client) Watermark(ctx context.Context, req api.WatermarkRequest) (*api.WatermarkResponse, error) {
+	var out api.WatermarkResponse
+	if err := c.do(ctx, http.MethodPost, "/v2/watermark", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Verify checks one inline suspect relation against a stored (by ID) or
+// inline certificate — the materialized path, with remap recovery and
+// the frequency channel in play.
+func (c *Client) Verify(ctx context.Context, req api.VerifyRequest) (*api.VerifyResponse, error) {
+	var out api.VerifyResponse
+	if err := c.do(ctx, http.MethodPost, "/v2/verify", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// VerifyBatch audits one inline suspect relation against many stored
+// certificates in a single server-side scan. Empty req.Records means the
+// whole catalog.
+func (c *Client) VerifyBatch(ctx context.Context, req api.BatchVerifyRequest) (*api.BatchVerifyResponse, error) {
+	var out api.BatchVerifyResponse
+	if err := c.do(ctx, http.MethodPost, "/v2/verify/batch", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// StreamOptions parameterise the raw-body verify calls.
+type StreamOptions struct {
+	// Schema is the schema-spec string of the uploaded rows (required).
+	Schema string
+	// ContentType is api.ContentTypeCSV (default) or
+	// api.ContentTypeNDJSON, and must match the body's format.
+	ContentType string
+	// Workers optionally overrides the server's scan parallelism.
+	Workers int
+}
+
+func (o StreamOptions) contentType() string {
+	if o.ContentType == "" {
+		return api.ContentTypeCSV
+	}
+	return o.ContentType
+}
+
+// VerifyStream checks a suspect dataset streamed from body against ONE
+// stored certificate. Rows flow from the reader to the server's
+// detection pipeline without being materialized on either side; only the
+// primary channel is scored (one-pass scan).
+func (c *Client) VerifyStream(ctx context.Context, recordID string, body io.Reader, opts StreamOptions) (*api.VerifyResponse, error) {
+	q := url.Values{"id": {recordID}, "schema": {opts.Schema}}
+	if opts.Workers > 0 {
+		q.Set("workers", strconv.Itoa(opts.Workers))
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		c.base+"/v2/verify?"+q.Encode(), body)
+	if err != nil {
+		return nil, fmt.Errorf("client: %w", err)
+	}
+	req.Header.Set("Content-Type", opts.contentType())
+	var out api.VerifyResponse
+	if err := c.exchange(req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// VerifyBatchStream audits a suspect dataset streamed from body against
+// many stored certificates (all of them when recordIDs is empty) in one
+// server-side scan — the corpus-audit primitive.
+func (c *Client) VerifyBatchStream(ctx context.Context, recordIDs []string, body io.Reader, opts StreamOptions) (*api.BatchVerifyResponse, error) {
+	q := url.Values{"schema": {opts.Schema}}
+	if len(recordIDs) > 0 {
+		q.Set("records", strings.Join(recordIDs, ","))
+	}
+	if opts.Workers > 0 {
+		q.Set("workers", strconv.Itoa(opts.Workers))
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		c.base+"/v2/verify/batch?"+q.Encode(), body)
+	if err != nil {
+		return nil, fmt.Errorf("client: %w", err)
+	}
+	req.Header.Set("Content-Type", opts.contentType())
+	var out api.BatchVerifyResponse
+	if err := c.exchange(req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// ---- async jobs ----
+
+// SubmitJob enqueues an async job (api.JobKindWatermark or
+// api.JobKindVerifyBatch) and returns the queued resource immediately.
+// A full queue surfaces as *api.Error with code queue_full.
+func (c *Client) SubmitJob(ctx context.Context, req api.JobRequest) (*api.Job, error) {
+	var out api.Job
+	if err := c.do(ctx, http.MethodPost, "/v2/jobs", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Job polls one job by ID.
+func (c *Client) Job(ctx context.Context, id string) (*api.Job, error) {
+	var out api.Job
+	if err := c.do(ctx, http.MethodGet, "/v2/jobs/"+url.PathEscape(id), nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Jobs lists the server's retained jobs, newest first.
+func (c *Client) Jobs(ctx context.Context) ([]api.Job, error) {
+	var out api.JobList
+	if err := c.do(ctx, http.MethodGet, "/v2/jobs", nil, &out); err != nil {
+		return nil, err
+	}
+	return out.Jobs, nil
+}
+
+// CancelJob requests cancellation. A queued job is cancelled outright; a
+// running job's scan workers are stopped through its context and the job
+// reaches the cancelled state shortly after — use WaitJob to observe the
+// transition. Cancelling a finished job yields code conflict.
+func (c *Client) CancelJob(ctx context.Context, id string) (*api.Job, error) {
+	var out api.Job
+	if err := c.do(ctx, http.MethodDelete, "/v2/jobs/"+url.PathEscape(id), nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// DefaultPollInterval paces WaitJob when the caller passes 0.
+const DefaultPollInterval = 250 * time.Millisecond
+
+// WaitJob polls until the job reaches a terminal state (done, failed,
+// cancelled) and returns its final resource; the outcome of failed and
+// cancelled jobs is in Job.Error, not in WaitJob's error (which reports
+// transport/ctx problems only). poll <= 0 means DefaultPollInterval.
+func (c *Client) WaitJob(ctx context.Context, id string, poll time.Duration) (*api.Job, error) {
+	if poll <= 0 {
+		poll = DefaultPollInterval
+	}
+	t := time.NewTicker(poll)
+	defer t.Stop()
+	for {
+		job, err := c.Job(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		if job.State.Terminal() {
+			return job, nil
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-t.C:
+		}
+	}
+}
+
+// ---- record resources ----
+
+// Records lists one page of stored certificate IDs: up to limit IDs
+// strictly after the cursor (limit 0 means no bound), plus the cursor
+// for the next page.
+func (c *Client) Records(ctx context.Context, limit int, after string) (*api.RecordList, error) {
+	q := url.Values{}
+	if limit > 0 {
+		q.Set("limit", strconv.Itoa(limit))
+	}
+	if after != "" {
+		q.Set("after", after)
+	}
+	path := "/v2/records"
+	if enc := q.Encode(); enc != "" {
+		path += "?" + enc
+	}
+	var out api.RecordList
+	if err := c.do(ctx, http.MethodGet, path, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// AllRecords walks the cursor to exhaustion and returns every stored ID,
+// pageSize IDs per request (0 means a server-friendly default of 1000).
+func (c *Client) AllRecords(ctx context.Context, pageSize int) ([]string, error) {
+	if pageSize <= 0 {
+		pageSize = 1000
+	}
+	var ids []string
+	after := ""
+	for {
+		page, err := c.Records(ctx, pageSize, after)
+		if err != nil {
+			return nil, err
+		}
+		ids = append(ids, page.Records...)
+		if page.Next == "" {
+			return ids, nil
+		}
+		after = page.Next
+	}
+}
+
+// Record fetches one certificate's public shape (secret redacted).
+func (c *Client) Record(ctx context.Context, id string) (*api.RecordInfo, error) {
+	var out api.RecordInfo
+	if err := c.do(ctx, http.MethodGet, "/v2/records/"+url.PathEscape(id), nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// DeleteRecord drops a stored certificate.
+func (c *Client) DeleteRecord(ctx context.Context, id string) error {
+	return c.do(ctx, http.MethodDelete, "/v2/records/"+url.PathEscape(id), nil, nil)
+}
+
+// Health fetches the liveness body as loose JSON.
+func (c *Client) Health(ctx context.Context) (map[string]any, error) {
+	var out map[string]any
+	if err := c.do(ctx, http.MethodGet, "/healthz", nil, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"repro/internal/mark"
 	"repro/internal/pipeline"
 	"repro/internal/relation"
@@ -43,8 +45,11 @@ type BatchReport struct {
 // channel is not scored (FrequencyMatch is -1).
 //
 // A stream-level error (unreadable or malformed suspect data) fails the
-// whole call; per-certificate failures land in their BatchReport.Err.
-func VerifyBatch(records []*Record, src relation.RowReader, opts BatchOptions) ([]BatchReport, error) {
+// whole call; per-certificate failures land in their BatchReport.Err. A
+// cancelled ctx stops the scan before the reader drains and fails the
+// call with ctx.Err() — this is how job cancellation and client
+// disconnects halt a corpus audit mid-pass.
+func VerifyBatch(ctx context.Context, records []*Record, src relation.RowReader, opts BatchOptions) ([]BatchReport, error) {
 	out := make([]BatchReport, len(records))
 	preps := make([]*preparedRecord, len(records))
 	var scanners []*mark.Scanner
@@ -65,7 +70,7 @@ func VerifyBatch(records []*Record, src relation.RowReader, opts BatchOptions) (
 		live = append(live, i)
 	}
 
-	outs, err := pipeline.DetectMany(src, scanners, pipeline.Config{Workers: workerCount(opts.Workers)})
+	outs, err := pipeline.DetectMany(ctx, src, scanners, pipeline.Config{Workers: workerCount(opts.Workers)})
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"reflect"
 	"strings"
@@ -73,7 +74,7 @@ func TestVerifyBatchMatchesIndividualVerify(t *testing.T) {
 		{Workers: 4, Cache: NewScannerCache(3)}, // smaller than the catalog: forces evictions
 	} {
 		// In-memory stream.
-		got, err := VerifyBatch(records, relation.Rows(suspect), opts)
+		got, err := VerifyBatch(context.Background(), records, relation.Rows(suspect), opts)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -84,7 +85,7 @@ func TestVerifyBatchMatchesIndividualVerify(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		got, err = VerifyBatch(records, src, opts)
+		got, err = VerifyBatch(context.Background(), records, src, opts)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -114,7 +115,7 @@ func TestVerifyBatchBadRecord(t *testing.T) {
 	suspect, records := batchTestCatalog(t, 2000, 2)
 	bad := *records[1]
 	bad.WM = "10x1"
-	out, err := VerifyBatch([]*Record{records[0], &bad}, relation.Rows(suspect), BatchOptions{})
+	out, err := VerifyBatch(context.Background(), []*Record{records[0], &bad}, relation.Rows(suspect), BatchOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,7 +160,7 @@ func TestScannerCacheConcurrent(t *testing.T) {
 					errs <- fmt.Errorf("record %d: cached verify diverged", i)
 					return
 				}
-				out, err := VerifyBatch(records[i:i+1:i+1], relation.Rows(suspect), BatchOptions{Cache: cache})
+				out, err := VerifyBatch(context.Background(), records[i:i+1:i+1], relation.Rows(suspect), BatchOptions{Cache: cache})
 				if err != nil {
 					errs <- err
 					return

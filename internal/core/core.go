@@ -24,6 +24,7 @@
 package core
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -117,7 +118,19 @@ func (s Spec) freqKey() keyhash.Key {
 }
 
 // Watermark embeds per the spec, mutating r, and returns the certificate.
+// It is WatermarkContext with a background context — embedding cannot be
+// cancelled mid-pass through this entry point.
 func Watermark(r *relation.Relation, s Spec) (*Record, Stats, error) {
+	return WatermarkContext(context.Background(), r, s)
+}
+
+// WatermarkContext is Watermark under a caller-controlled context: a
+// cancelled ctx stops the chunked embedding pass between chunks and
+// returns ctx.Err(). This is the entry point of the async job executor
+// and the HTTP handlers, where a disconnected client or a cancelled job
+// must stop burning CPU. Note a cancelled embedding may have already
+// altered part of r — callers discard the relation on error.
+func WatermarkContext(ctx context.Context, r *relation.Relation, s Spec) (*Record, Stats, error) {
 	var st Stats
 	if s.Secret == "" {
 		return nil, st, errors.New("core: empty secret")
@@ -157,7 +170,7 @@ func Watermark(r *relation.Relation, s Spec) (*Record, Stats, error) {
 		Domain:   dom,
 		Assessor: assessor,
 	}
-	mst, err := pipeline.Embed(r, wm, opts, pipeline.Config{Workers: workerCount(s.Workers)})
+	mst, err := pipeline.Embed(ctx, r, wm, opts, pipeline.Config{Workers: workerCount(s.Workers)})
 	if err != nil {
 		return nil, st, err
 	}
@@ -226,7 +239,7 @@ type Report struct {
 // retries. The frequency channel, when present, is scored as a secondary
 // witness. The suspect relation is never modified.
 func (rec *Record) Verify(suspect *relation.Relation) (Report, error) {
-	return rec.verify(suspect, 1, nil)
+	return rec.verify(context.Background(), suspect, 1, nil)
 }
 
 // VerifyParallel is Verify with the detection scans chunked across a
@@ -235,7 +248,7 @@ func (rec *Record) Verify(suspect *relation.Relation) (Report, error) {
 // negative means runtime.NumCPU(). The recovered bit string is
 // bit-identical to Verify's.
 func (rec *Record) VerifyParallel(suspect *relation.Relation, workers int) (Report, error) {
-	return rec.verify(suspect, workerCount(workers), nil)
+	return rec.verify(context.Background(), suspect, workerCount(workers), nil)
 }
 
 // VerifyOptions parameterises VerifyWith.
@@ -251,10 +264,17 @@ type VerifyOptions struct {
 // VerifyWith is Verify with an explicit worker count and an optional
 // prepared-scanner cache; results are identical to Verify's.
 func (rec *Record) VerifyWith(suspect *relation.Relation, o VerifyOptions) (Report, error) {
-	return rec.verify(suspect, workerCount(o.Workers), o.Cache)
+	return rec.verify(context.Background(), suspect, workerCount(o.Workers), o.Cache)
 }
 
-func (rec *Record) verify(suspect *relation.Relation, workers int, cache *ScannerCache) (Report, error) {
+// VerifyContext is VerifyWith under a caller-controlled context: a
+// cancelled ctx stops the detection scan between chunks and returns
+// ctx.Err(). The suspect relation is never modified either way.
+func (rec *Record) VerifyContext(ctx context.Context, suspect *relation.Relation, o VerifyOptions) (Report, error) {
+	return rec.verify(ctx, suspect, workerCount(o.Workers), o.Cache)
+}
+
+func (rec *Record) verify(ctx context.Context, suspect *relation.Relation, workers int, cache *ScannerCache) (Report, error) {
 	var rep Report
 	rep.FrequencyMatch = -1
 	p, err := prepared(rec, cache)
@@ -265,7 +285,7 @@ func (rec *Record) verify(suspect *relation.Relation, workers int, cache *Scanne
 
 	cfg := pipeline.Config{Workers: workers}
 	working := suspect
-	det, err := pipeline.Detect(working, len(want), p.opts, cfg)
+	det, err := pipeline.Detect(ctx, working, len(want), p.opts, cfg)
 	if err != nil {
 		return rep, err
 	}
@@ -275,12 +295,15 @@ func (rec *Record) verify(suspect *relation.Relation, workers int, cache *Scanne
 		if rerr == nil {
 			working = suspect.Clone()
 			if _, aerr := freq.ApplyMapping(working, rec.Attribute, inverse); aerr == nil {
-				if det2, derr := pipeline.Detect(working, len(want), p.opts, cfg); derr == nil {
+				if det2, derr := pipeline.Detect(ctx, working, len(want), p.opts, cfg); derr == nil {
 					det = det2
 					rep.RemapRecovered = true
 				}
 			}
 		}
+	}
+	if err := ctx.Err(); err != nil {
+		return rep, err // a cancelled remap retry must not pass as a verdict
 	}
 	rep.Primary = det
 	rep.Detected = det.WM.String()

@@ -1,0 +1,432 @@
+// Package jobs is the async execution subsystem behind POST /v2/jobs: a
+// bounded worker pool that runs long corpus audits and embeddings outside
+// the HTTP request that submitted them. A court-grade batch verification
+// over millions of suspect tuples cannot live inside one blocking
+// request/response exchange; here it becomes a job resource the client
+// submits, polls, and may cancel.
+//
+// Lifecycle (api.JobState mirrors these):
+//
+//	queued ──▶ running ──▶ done
+//	   │          │    ╰──▶ failed
+//	   ╰──────────┴───────▶ cancelled
+//
+// Every job runs under its own context.Context derived from the
+// manager's base context. Cancel cancels that context; because the whole
+// execution stack (core, pipeline, streaming readers) is
+// context-threaded, a cancelled job stops scanning mid-pass instead of
+// completing invisibly. Closing the manager cancels the base context, so
+// server shutdown stops every running job the same way.
+package jobs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// State is a job's lifecycle state. The spellings match api.JobState —
+// they cross the wire verbatim.
+type State string
+
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether s is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Func is the work a job performs. It must honor ctx: returning promptly
+// once ctx is cancelled is what makes Cancel and shutdown effective. The
+// returned value is the job's result on success.
+type Func func(ctx context.Context) (any, error)
+
+// Snapshot is a point-in-time copy of a job's state, safe to hold after
+// the job has moved on.
+type Snapshot struct {
+	ID   string
+	Kind string
+	// Seq is the submission sequence number; List orders by it.
+	Seq   uint64
+	State State
+	// Created/Started/Finished timestamp the lifecycle; Started and
+	// Finished are zero until reached.
+	Created  time.Time
+	Started  time.Time
+	Finished time.Time
+	// Err is why the job failed, or context.Canceled for a cancelled job.
+	Err error
+	// Result is the Func's return value once State is done.
+	Result any
+}
+
+// Errors returned by the manager surface.
+var (
+	// ErrNotFound reports a job ID the manager does not hold.
+	ErrNotFound = errors.New("jobs: job not found")
+	// ErrQueueFull reports a Submit against a full queue — the backpressure
+	// signal; callers translate it to HTTP 429.
+	ErrQueueFull = errors.New("jobs: queue full")
+	// ErrFinished reports a Cancel against a job already in a terminal
+	// state.
+	ErrFinished = errors.New("jobs: job already finished")
+	// ErrClosed reports a Submit against a closed manager.
+	ErrClosed = errors.New("jobs: manager closed")
+)
+
+// Config sizes a Manager.
+type Config struct {
+	// Workers is the number of jobs that may run concurrently; <= 0 means
+	// DefaultWorkers. Each job's internal scan parallelism is its own
+	// affair (pipeline workers) — this bounds how many jobs hold that
+	// much CPU at once.
+	Workers int
+	// QueueDepth bounds the number of queued-but-not-running jobs; <= 0
+	// means DefaultQueueDepth. Submissions beyond it fail with
+	// ErrQueueFull rather than buffering without bound.
+	QueueDepth int
+	// Retain bounds how many finished jobs stay inspectable; <= 0 means
+	// DefaultRetain. The oldest finished jobs are evicted first; queued
+	// and running jobs are never evicted.
+	Retain int
+}
+
+// Defaults for Config's zero values.
+const (
+	DefaultWorkers    = 2
+	DefaultQueueDepth = 64
+	DefaultRetain     = 256
+)
+
+// job is the manager-internal mutable record behind a Snapshot.
+type job struct {
+	id       string
+	kind     string
+	seq      uint64
+	fn       Func
+	state    State
+	created  time.Time
+	started  time.Time
+	finished time.Time
+	err      error
+	result   any
+	cancel   context.CancelFunc // cancels this job's context
+}
+
+// Manager owns the worker pool and the job table.
+type Manager struct {
+	cfg     Config
+	baseCtx context.Context
+	stop    context.CancelFunc
+	queue   chan *job
+	wg      sync.WaitGroup
+
+	mu     sync.Mutex
+	jobs   map[string]*job
+	seq    uint64
+	closed bool
+}
+
+// NewManager starts cfg.Workers worker goroutines and returns the
+// manager. Close it to stop them and cancel running jobs.
+func NewManager(cfg Config) *Manager {
+	if cfg.Workers <= 0 {
+		cfg.Workers = DefaultWorkers
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = DefaultQueueDepth
+	}
+	if cfg.Retain <= 0 {
+		cfg.Retain = DefaultRetain
+	}
+	ctx, stop := context.WithCancel(context.Background())
+	m := &Manager{
+		cfg:     cfg,
+		baseCtx: ctx,
+		stop:    stop,
+		queue:   make(chan *job, cfg.QueueDepth),
+		jobs:    make(map[string]*job),
+	}
+	for w := 0; w < cfg.Workers; w++ {
+		m.wg.Add(1)
+		go m.worker()
+	}
+	return m
+}
+
+// newID returns a fresh random job ID (job- prefix distinguishes job IDs
+// from record IDs in logs and URLs).
+func newID() (string, error) {
+	var b [12]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "", fmt.Errorf("jobs: generating id: %w", err)
+	}
+	return "job-" + hex.EncodeToString(b[:]), nil
+}
+
+// Submit enqueues fn as a new job of the given kind and returns its
+// queued snapshot. It never blocks: a full queue fails fast with
+// ErrQueueFull.
+func (m *Manager) Submit(kind string, fn Func) (Snapshot, error) {
+	id, err := newID()
+	if err != nil {
+		return Snapshot{}, err
+	}
+	j := &job{
+		id:      id,
+		kind:    kind,
+		fn:      fn,
+		state:   StateQueued,
+		created: time.Now(),
+	}
+
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return Snapshot{}, ErrClosed
+	}
+	m.seq++
+	j.seq = m.seq
+	// Register before enqueueing so a Get can never miss a job a worker
+	// already picked up; unregister on queue-full below.
+	m.jobs[id] = j
+	m.evictLocked()
+	m.mu.Unlock()
+
+	select {
+	case m.queue <- j:
+		return m.snapshotOf(j), nil
+	default:
+		m.mu.Lock()
+		delete(m.jobs, id)
+		m.mu.Unlock()
+		return Snapshot{}, ErrQueueFull
+	}
+}
+
+// worker pulls queued jobs and runs them to a terminal state.
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for {
+		select {
+		case <-m.baseCtx.Done():
+			return
+		case j, ok := <-m.queue:
+			if !ok {
+				return
+			}
+			m.run(j)
+		}
+	}
+}
+
+// run executes one job under its own cancellable context.
+func (m *Manager) run(j *job) {
+	ctx, cancel := context.WithCancel(m.baseCtx)
+	defer cancel()
+
+	m.mu.Lock()
+	if j.state != StateQueued { // cancelled while queued
+		m.mu.Unlock()
+		return
+	}
+	j.state = StateRunning
+	j.started = time.Now()
+	j.cancel = cancel
+	fn := j.fn
+	m.mu.Unlock()
+
+	result, err := fn(ctx)
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j.finished = time.Now()
+	j.cancel = nil
+	j.fn = nil // the closure captures the request payload; free it with the job
+	switch {
+	case err != nil && (errors.Is(err, context.Canceled) || ctx.Err() != nil):
+		// Either the job observed its cancelled context, or it failed for
+		// another reason after cancellation was requested — both are a
+		// cancellation from the caller's point of view.
+		j.state = StateCancelled
+		j.err = context.Canceled
+	case err != nil:
+		j.state = StateFailed
+		j.err = err
+	default:
+		j.state = StateDone
+		j.result = result
+	}
+}
+
+// Get returns a snapshot of the job with the given ID.
+func (m *Manager) Get(id string) (Snapshot, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return Snapshot{}, ErrNotFound
+	}
+	return snapshotLocked(j), nil
+}
+
+// Cancel requests cancellation of a job. A queued job flips to cancelled
+// immediately and never runs; a running job has its context cancelled and
+// reaches the cancelled state when its Func returns. The returned
+// snapshot reflects the state after the request (a running job may still
+// report running — poll until terminal). Cancelling a finished job
+// reports ErrFinished.
+func (m *Manager) Cancel(id string) (Snapshot, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return Snapshot{}, ErrNotFound
+	}
+	switch j.state {
+	case StateQueued:
+		j.state = StateCancelled
+		j.err = context.Canceled
+		j.finished = time.Now()
+		j.fn = nil
+	case StateRunning:
+		if j.cancel != nil {
+			j.cancel()
+		}
+	default:
+		return snapshotLocked(j), ErrFinished
+	}
+	return snapshotLocked(j), nil
+}
+
+// List returns snapshots of every retained job, newest submission first.
+func (m *Manager) List() []Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Snapshot, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		out = append(out, snapshotLocked(j))
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Seq > out[b].Seq })
+	return out
+}
+
+// Close stops accepting submissions, cancels the base context (and with
+// it every running job), and waits for the workers to exit. Jobs still
+// queued are marked cancelled.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		m.wg.Wait()
+		return
+	}
+	m.closed = true
+	m.mu.Unlock()
+
+	m.stop()
+	m.wg.Wait()
+
+	// Workers are gone; sweep whatever never reached a terminal state.
+	// The queue channel itself is left for the GC — closing it would race
+	// a Submit that passed the closed check before we flipped it (the
+	// sweep still catches that job, because Submit registers in the table
+	// before enqueueing).
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, j := range m.jobs {
+		if j.state == StateQueued || j.state == StateRunning {
+			j.state = StateCancelled
+			j.err = context.Canceled
+			j.finished = time.Now()
+			j.fn = nil
+		}
+	}
+}
+
+// Stats is a point-in-time occupancy view for health endpoints.
+type Stats struct {
+	Workers   int `json:"workers"`
+	Queued    int `json:"queued"`
+	Running   int `json:"running"`
+	Retained  int `json:"retained"`
+	QueueCap  int `json:"queue_capacity"`
+	RetainCap int `json:"retain_capacity"`
+}
+
+// Stats reports current occupancy.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := Stats{
+		Workers:   m.cfg.Workers,
+		Retained:  len(m.jobs),
+		QueueCap:  m.cfg.QueueDepth,
+		RetainCap: m.cfg.Retain,
+	}
+	for _, j := range m.jobs {
+		switch j.state {
+		case StateQueued:
+			st.Queued++
+		case StateRunning:
+			st.Running++
+		}
+	}
+	return st
+}
+
+// evictLocked drops the oldest finished jobs beyond the retention cap.
+// Callers hold m.mu.
+func (m *Manager) evictLocked() {
+	excess := len(m.jobs) - m.cfg.Retain
+	if excess <= 0 {
+		return
+	}
+	finished := make([]*job, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		if j.state.Terminal() {
+			finished = append(finished, j)
+		}
+	}
+	sort.Slice(finished, func(a, b int) bool { return finished[a].seq < finished[b].seq })
+	for _, j := range finished {
+		if excess <= 0 {
+			break
+		}
+		delete(m.jobs, j.id)
+		excess--
+	}
+}
+
+// snapshotOf snapshots a job, taking the lock.
+func (m *Manager) snapshotOf(j *job) Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return snapshotLocked(j)
+}
+
+// snapshotLocked copies a job's state; callers hold m.mu.
+func snapshotLocked(j *job) Snapshot {
+	return Snapshot{
+		ID:       j.id,
+		Kind:     j.kind,
+		Seq:      j.seq,
+		State:    j.state,
+		Created:  j.created,
+		Started:  j.started,
+		Finished: j.finished,
+		Err:      j.err,
+		Result:   j.result,
+	}
+}

@@ -1,0 +1,312 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// waitState polls until the job reaches a terminal state or the deadline
+// passes.
+func waitState(t *testing.T, m *Manager, id string) Snapshot {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		snap, err := m.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if snap.State.Terminal() {
+			return snap
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("job %s never reached a terminal state", id)
+	return Snapshot{}
+}
+
+func TestSubmitRunsToDone(t *testing.T) {
+	m := NewManager(Config{Workers: 2})
+	defer m.Close()
+
+	snap, err := m.Submit("test", func(ctx context.Context) (any, error) {
+		return 42, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.ID == "" || snap.Kind != "test" {
+		t.Fatalf("submit snapshot: %+v", snap)
+	}
+	final := waitState(t, m, snap.ID)
+	if final.State != StateDone || final.Result != 42 || final.Err != nil {
+		t.Fatalf("final: %+v", final)
+	}
+	if final.Started.IsZero() || final.Finished.IsZero() || final.Created.IsZero() {
+		t.Fatalf("lifecycle timestamps missing: %+v", final)
+	}
+}
+
+func TestFailedJobKeepsError(t *testing.T) {
+	m := NewManager(Config{Workers: 1})
+	defer m.Close()
+
+	boom := errors.New("boom")
+	snap, err := m.Submit("test", func(ctx context.Context) (any, error) {
+		return nil, boom
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := waitState(t, m, snap.ID)
+	if final.State != StateFailed || !errors.Is(final.Err, boom) {
+		t.Fatalf("final: %+v", final)
+	}
+}
+
+// TestCancelQueuedNeverRuns fills the single worker with a blocking job,
+// queues a second, cancels it, and asserts it never executes.
+func TestCancelQueuedNeverRuns(t *testing.T) {
+	m := NewManager(Config{Workers: 1})
+	defer m.Close()
+
+	release := make(chan struct{})
+	blocker, err := m.Submit("blocker", func(ctx context.Context) (any, error) {
+		select {
+		case <-release:
+		case <-ctx.Done():
+		}
+		return nil, ctx.Err()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ran := make(chan struct{}, 1)
+	queued, err := m.Submit("queued", func(ctx context.Context) (any, error) {
+		ran <- struct{}{}
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	snap, err := m.Cancel(queued.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.State != StateCancelled {
+		t.Fatalf("cancel of queued job: state %s, want cancelled", snap.State)
+	}
+	close(release)
+	waitState(t, m, blocker.ID)
+
+	select {
+	case <-ran:
+		t.Fatal("cancelled queued job still ran")
+	case <-time.After(50 * time.Millisecond):
+	}
+	if _, err := m.Cancel(queued.ID); !errors.Is(err, ErrFinished) {
+		t.Fatalf("second cancel: err %v, want ErrFinished", err)
+	}
+}
+
+// TestCancelRunningStopsViaContext asserts Cancel propagates through the
+// running job's context and the job lands in cancelled, not failed.
+func TestCancelRunningStopsViaContext(t *testing.T) {
+	m := NewManager(Config{Workers: 1})
+	defer m.Close()
+
+	started := make(chan struct{})
+	snap, err := m.Submit("running", func(ctx context.Context) (any, error) {
+		close(started)
+		<-ctx.Done()
+		return nil, ctx.Err()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	if _, err := m.Cancel(snap.ID); err != nil {
+		t.Fatal(err)
+	}
+	final := waitState(t, m, snap.ID)
+	if final.State != StateCancelled || !errors.Is(final.Err, context.Canceled) {
+		t.Fatalf("final: %+v", final)
+	}
+}
+
+func TestQueueFullBackpressure(t *testing.T) {
+	m := NewManager(Config{Workers: 1, QueueDepth: 1})
+	defer m.Close()
+
+	release := make(chan struct{})
+	defer close(release)
+	block := func(ctx context.Context) (any, error) {
+		select {
+		case <-release:
+		case <-ctx.Done():
+		}
+		return nil, nil
+	}
+	// One running + one queued fills a depth-1 queue (the worker may or
+	// may not have picked the first up yet, so allow one extra).
+	var ids []string
+	var full bool
+	for i := 0; i < 4; i++ {
+		snap, err := m.Submit("block", block)
+		if errors.Is(err, ErrQueueFull) {
+			full = true
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, snap.ID)
+	}
+	if !full {
+		t.Fatalf("queue never filled after %d submissions", len(ids))
+	}
+	// A rejected submission must not leave a ghost job behind.
+	for _, s := range m.List() {
+		if s.State == StateQueued || s.State == StateRunning {
+			continue
+		}
+		t.Fatalf("unexpected state after backpressure: %+v", s)
+	}
+}
+
+func TestListNewestFirst(t *testing.T) {
+	m := NewManager(Config{Workers: 2})
+	defer m.Close()
+
+	var ids []string
+	for i := 0; i < 5; i++ {
+		snap, err := m.Submit(fmt.Sprintf("k%d", i), func(ctx context.Context) (any, error) {
+			return nil, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, snap.ID)
+	}
+	for _, id := range ids {
+		waitState(t, m, id)
+	}
+	list := m.List()
+	if len(list) != 5 {
+		t.Fatalf("listed %d, want 5", len(list))
+	}
+	for i := 1; i < len(list); i++ {
+		if list[i-1].Seq <= list[i].Seq {
+			t.Fatalf("list not newest-first: %+v", list)
+		}
+	}
+	if list[0].ID != ids[4] {
+		t.Fatalf("newest job is %s, want %s", list[0].ID, ids[4])
+	}
+}
+
+func TestRetentionEvictsOldestFinished(t *testing.T) {
+	m := NewManager(Config{Workers: 1, Retain: 3})
+	defer m.Close()
+
+	var ids []string
+	for i := 0; i < 6; i++ {
+		snap, err := m.Submit("r", func(ctx context.Context) (any, error) { return nil, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, snap.ID)
+		waitState(t, m, snap.ID)
+	}
+	if got := len(m.List()); got > 4 { // cap 3 + at most one in-flight registration
+		t.Fatalf("retained %d jobs, cap 3", got)
+	}
+	if _, err := m.Get(ids[0]); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("oldest job survived eviction: %v", err)
+	}
+	if _, err := m.Get(ids[len(ids)-1]); err != nil {
+		t.Fatalf("newest job evicted: %v", err)
+	}
+}
+
+// TestCloseCancelsRunning asserts manager shutdown cancels running jobs
+// through their contexts and refuses later submissions.
+func TestCloseCancelsRunning(t *testing.T) {
+	m := NewManager(Config{Workers: 1})
+
+	started := make(chan struct{})
+	observed := make(chan error, 1)
+	snap, err := m.Submit("shutdown", func(ctx context.Context) (any, error) {
+		close(started)
+		<-ctx.Done()
+		observed <- ctx.Err()
+		return nil, ctx.Err()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	m.Close()
+	if err := <-observed; !errors.Is(err, context.Canceled) {
+		t.Fatalf("running job saw %v, want context.Canceled", err)
+	}
+	final, err := m.Get(snap.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != StateCancelled {
+		t.Fatalf("after Close: %+v", final)
+	}
+	if _, err := m.Submit("late", func(ctx context.Context) (any, error) { return nil, nil }); !errors.Is(err, ErrClosed) {
+		t.Fatalf("submit after Close: %v, want ErrClosed", err)
+	}
+}
+
+// TestConcurrentSubmitGetCancel hammers the manager from many goroutines;
+// run under -race in CI.
+func TestConcurrentSubmitGetCancel(t *testing.T) {
+	m := NewManager(Config{Workers: 4, QueueDepth: 256})
+	defer m.Close()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				snap, err := m.Submit("stress", func(ctx context.Context) (any, error) {
+					select {
+					case <-time.After(time.Duration(i%3) * time.Millisecond):
+					case <-ctx.Done():
+					}
+					return i, ctx.Err()
+				})
+				if errors.Is(err, ErrQueueFull) {
+					continue
+				}
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if g%2 == 0 {
+					m.Cancel(snap.ID) //nolint:errcheck // racing terminal states is the point
+				}
+				if _, err := m.Get(snap.ID); err != nil && !errors.Is(err, ErrNotFound) {
+					t.Error(err)
+					return
+				}
+				m.List()
+				m.Stats()
+			}
+		}(g)
+	}
+	wg.Wait()
+	for _, s := range m.List() {
+		_ = s
+	}
+}

@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"fmt"
 	"reflect"
 	"strings"
@@ -65,7 +66,7 @@ func TestDetectManyMatchesIndividualScans(t *testing.T) {
 				scanners[i] = sc
 			}
 			cfg := Config{Workers: 4, ChunkRows: 700} // uneven tail on purpose
-			outs, err := DetectMany(relation.Rows(r), scanners, cfg)
+			outs, err := DetectMany(context.Background(), relation.Rows(r), scanners, cfg)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -85,7 +86,7 @@ func TestDetectManyMatchesIndividualScans(t *testing.T) {
 					t.Errorf("scanner %d: DetectMany report diverged:\n got %+v\nwant %+v",
 						i, outs[i].Report, want)
 				}
-				solo, err := DetectReader(relation.Rows(r), len(wm), opts, cfg)
+				solo, err := DetectReader(context.Background(), relation.Rows(r), len(wm), opts, cfg)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -108,7 +109,7 @@ func TestDetectManyMatchesIndividualScans(t *testing.T) {
 func TestScanManyZeroScanners(t *testing.T) {
 	r, _ := testData(t, 10)
 	src := relation.Rows(r)
-	tallies, err := ScanMany(src, nil, Config{})
+	tallies, err := ScanMany(context.Background(), src, nil, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,7 +142,7 @@ func TestScanManyPropagatesReadError(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := ScanMany(src, []*mark.Scanner{sc}, Config{Workers: 2, ChunkRows: 16}); err == nil {
+	if _, err := ScanMany(context.Background(), src, []*mark.Scanner{sc}, Config{Workers: 2, ChunkRows: 16}); err == nil {
 		t.Fatal("ScanMany swallowed a stream read error")
 	}
 }

@@ -10,9 +10,18 @@
 //
 // This is the execution engine behind core.Spec.Workers, wmtool -parallel
 // and the wmserver handlers.
+//
+// Every entry point takes a context.Context and stops between chunks when
+// it is cancelled — the mechanism by which an HTTP client disconnect, an
+// async-job cancellation (internal/jobs) or a server shutdown actually
+// halts scan work mid-pass instead of burning CPU to the end of the
+// dataset. Cancellation is chunk-granular: a worker finishes the chunk in
+// its hands, then exits; the streaming reader additionally checks between
+// rows, so a cancelled streaming pass stops without draining its source.
 package pipeline
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -83,8 +92,10 @@ func partition(n, chunkRows int) []chunkRange {
 }
 
 // runChunks fans worker goroutines over the chunks, calling work for each;
-// results land in a slice indexed by chunk. The first error wins.
-func runChunks[T any](workers int, chunks []chunkRange, work func(chunkRange) (T, error)) ([]T, error) {
+// results land in a slice indexed by chunk. The first error wins. A
+// cancelled ctx stops dispatch and lets in-flight chunks finish; the call
+// then reports ctx.Err().
+func runChunks[T any](ctx context.Context, workers int, chunks []chunkRange, work func(chunkRange) (T, error)) ([]T, error) {
 	results := make([]T, len(chunks))
 	errs := make([]error, len(chunks))
 	if workers > len(chunks) {
@@ -97,15 +108,26 @@ func runChunks[T any](workers int, chunks []chunkRange, work func(chunkRange) (T
 		go func() {
 			defer wg.Done()
 			for c := range jobs {
+				if ctx.Err() != nil {
+					return
+				}
 				results[c.Index], errs[c.Index] = work(c)
 			}
 		}()
 	}
+feed:
 	for _, c := range chunks {
-		jobs <- c
+		select {
+		case jobs <- c:
+		case <-ctx.Done():
+			break feed
+		}
 	}
 	close(jobs)
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
@@ -122,23 +144,42 @@ func runChunks[T any](workers int, chunks []chunkRange, work func(chunkRange) (T
 // Quality-gated embedding is inherently sequential — the assessor's
 // alteration budget makes later decisions depend on earlier ones — so
 // when opts.Assessor, opts.SkipRow or opts.OnAlter is set (or one worker
-// is requested) Embed falls back to mark.Embed. Likewise when the
-// watermarked attribute is the schema's primary key (a Section 3.3
-// pairwise embedding with KeyAttr overridden): rewriting key values
-// mutates the relation's shared key index, which concurrent workers
-// cannot do safely.
-func Embed(r *relation.Relation, wm ecc.Bits, opts mark.Options, cfg Config) (mark.EmbedStats, error) {
-	workers := cfg.workers()
-	if workers == 1 || opts.Assessor != nil || opts.SkipRow != nil || opts.OnAlter != nil ||
-		attrIsPrimaryKey(r, opts.Attr) {
-		return mark.Embed(r, wm, opts)
+// is requested) Embed runs the chunks in order on the calling goroutine
+// instead of the pool. Likewise when the watermarked attribute is the
+// schema's primary key (a Section 3.3 pairwise embedding with KeyAttr
+// overridden): rewriting key values mutates the relation's shared key
+// index, which concurrent workers cannot do safely. The sequential walk
+// still checks ctx between chunks, so even an order-dependent embedding
+// is cancellable mid-pass; a partially-embedded relation must be
+// discarded on error either way.
+func Embed(ctx context.Context, r *relation.Relation, wm ecc.Bits, opts mark.Options, cfg Config) (mark.EmbedStats, error) {
+	if err := ctx.Err(); err != nil {
+		return mark.EmbedStats{}, err
 	}
+	workers := cfg.workers()
 	em, err := mark.NewEmbedder(r, wm, opts)
 	if err != nil {
 		return mark.EmbedStats{}, err
 	}
 	chunks := partition(r.Len(), cfg.chunkRows(r.Len(), workers))
-	parts, err := runChunks(workers, chunks, func(c chunkRange) (mark.ChunkStats, error) {
+	if workers == 1 || opts.Assessor != nil || opts.SkipRow != nil || opts.OnAlter != nil ||
+		attrIsPrimaryKey(r, opts.Attr) {
+		// In-order chunk walk: identical to mark.Embed (EmbedRange is its
+		// kernel, rows visited in the same order) plus cancellation points.
+		var agg mark.ChunkStats
+		for _, c := range chunks {
+			if err := ctx.Err(); err != nil {
+				return mark.EmbedStats{}, err
+			}
+			cs, err := em.EmbedRange(r, c.Lo, c.Hi)
+			if err != nil {
+				return mark.EmbedStats{}, err
+			}
+			agg.Add(cs)
+		}
+		return mark.MergeChunks(agg), nil
+	}
+	parts, err := runChunks(ctx, workers, chunks, func(c chunkRange) (mark.ChunkStats, error) {
 		return em.EmbedRange(r, c.Lo, c.Hi)
 	})
 	if err != nil {
@@ -152,17 +193,31 @@ func Embed(r *relation.Relation, wm ecc.Bits, opts mark.Options, cfg Config) (ma
 // order before aggregating and decoding once. The recovered bit string is
 // bit-identical to the sequential pass for both vote-aggregation
 // policies; the suspect relation is never modified.
-func Detect(r *relation.Relation, wmLen int, opts mark.Options, cfg Config) (mark.DetectReport, error) {
-	workers := cfg.workers()
-	if workers == 1 {
-		return mark.Detect(r, wmLen, opts)
+func Detect(ctx context.Context, r *relation.Relation, wmLen int, opts mark.Options, cfg Config) (mark.DetectReport, error) {
+	if err := ctx.Err(); err != nil {
+		return mark.DetectReport{}, err
 	}
+	workers := cfg.workers()
 	sc, err := mark.NewScanner(r, wmLen, opts)
 	if err != nil {
 		return mark.DetectReport{}, err
 	}
 	chunks := partition(r.Len(), cfg.chunkRows(r.Len(), workers))
-	parts, err := runChunks(workers, chunks, func(c chunkRange) (*mark.Tally, error) {
+	if workers == 1 {
+		// In-order chunk walk over one tally: the same row loop as
+		// mark.Detect, split only to interleave cancellation checks.
+		total := sc.NewTally()
+		for _, c := range chunks {
+			if err := ctx.Err(); err != nil {
+				return mark.DetectReport{}, err
+			}
+			if err := sc.Scan(r, c.Lo, c.Hi, total); err != nil {
+				return mark.DetectReport{}, err
+			}
+		}
+		return sc.Report(total)
+	}
+	parts, err := runChunks(ctx, workers, chunks, func(c chunkRange) (*mark.Tally, error) {
 		t := sc.NewTally()
 		if err := sc.Scan(r, c.Lo, c.Hi, t); err != nil {
 			return nil, err

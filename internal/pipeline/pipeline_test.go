@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"reflect"
 	"strconv"
 	"strings"
@@ -54,7 +55,7 @@ func TestParallelEmbedEqualsSequential(t *testing.T) {
 		{Workers: 16, ChunkRows: 100},
 	} {
 		work := parRel.Clone()
-		parStats, err := Embed(work, wm, opts, cfg)
+		parStats, err := Embed(context.Background(), work, wm, opts, cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -92,7 +93,7 @@ func TestParallelDetectBitIdentical(t *testing.T) {
 			{Workers: 4, ChunkRows: 251},
 			{Workers: 16, ChunkRows: 64},
 		} {
-			par, err := Detect(r, len(wm), opts, cfg)
+			par, err := Detect(context.Background(), r, len(wm), opts, cfg)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -124,7 +125,7 @@ func TestEmbedAssessorFallsBackSequential(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	parStats, err := Embed(parRel, wm, mk(parRel), Config{Workers: 8})
+	parStats, err := Embed(context.Background(), parRel, wm, mk(parRel), Config{Workers: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,7 +169,7 @@ func TestEmbedPrimaryKeyAttrFallsBackSequential(t *testing.T) {
 	seqRel := mk()
 	seqStats, seqErr := mark.Embed(seqRel, wm, opts)
 	parRel := mk()
-	parStats, parErr := Embed(parRel, wm, opts, Config{Workers: 8, ChunkRows: 100})
+	parStats, parErr := Embed(context.Background(), parRel, wm, opts, Config{Workers: 8, ChunkRows: 100})
 	if (seqErr == nil) != (parErr == nil) {
 		t.Fatalf("error divergence: seq %v, par %v", seqErr, parErr)
 	}
@@ -208,7 +209,7 @@ func TestEmbedReaderMatchesMaterialized(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	streamStats, err := EmbedReader(src, dst, wm, sOpts, Config{Workers: 4, ChunkRows: 777})
+	streamStats, err := EmbedReader(context.Background(), src, dst, wm, sOpts, Config{Workers: 4, ChunkRows: 777})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -244,7 +245,7 @@ func TestDetectReaderMatchesMaterialized(t *testing.T) {
 	sOpts := opts
 	sOpts.BandwidthOverride = st.Bandwidth
 	src := relation.NewJSONLRowReader(strings.NewReader(in.String()), r.Schema())
-	rep, err := DetectReader(src, len(wm), sOpts, Config{Workers: 4, ChunkRows: 997})
+	rep, err := DetectReader(context.Background(), src, len(wm), sOpts, Config{Workers: 4, ChunkRows: 997})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -268,7 +269,7 @@ func TestStreamPropagatesReadErrors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := DetectReader(src, 3, opts, Config{Workers: 2, ChunkRows: 1}); err == nil {
+	if _, err := DetectReader(context.Background(), src, 3, opts, Config{Workers: 2, ChunkRows: 1}); err == nil {
 		t.Fatal("malformed stream accepted")
 	}
 }
@@ -283,7 +284,7 @@ func TestStreamRejectsOrderDependentHooks(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := DetectReader(src, 3, opts, Config{}); err == nil {
+	if _, err := DetectReader(context.Background(), src, 3, opts, Config{}); err == nil {
 		t.Fatal("order-dependent hook accepted by streaming path")
 	}
 	var out strings.Builder
@@ -291,7 +292,7 @@ func TestStreamRejectsOrderDependentHooks(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := EmbedReader(src, dst, ecc.MustParseBits("101"), opts, Config{}); err == nil {
+	if _, err := EmbedReader(context.Background(), src, dst, ecc.MustParseBits("101"), opts, Config{}); err == nil {
 		t.Fatal("order-dependent hook accepted by streaming embed")
 	}
 }

@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"io"
 	"sync"
 
@@ -50,8 +51,10 @@ type streamResult[T any] struct {
 // runStream reads chunk mini-relations from src and routes each through
 // work on a pool of workers, invoking collect for every chunk result in
 // stream order. It returns the first error from reading, working, or
-// collecting; a collect error stops the reader early.
-func runStream[T any](src relation.RowReader, cfg Config, work func(*relation.Relation) (T, error), collect func(T) error) error {
+// collecting; a collect error stops the reader early. A cancelled ctx
+// stops the reader between rows — the source is NOT drained — and the
+// call reports ctx.Err().
+func runStream[T any](ctx context.Context, src relation.RowReader, cfg Config, work func(*relation.Relation) (T, error), collect func(T) error) error {
 	workers := cfg.workers()
 	chunkRows := cfg.streamChunkRows()
 
@@ -60,12 +63,28 @@ func runStream[T any](src relation.RowReader, cfg Config, work func(*relation.Re
 	stop := make(chan struct{})
 	var stopOnce sync.Once
 
+	// A cancelled ctx trips the same stop latch a collect error does, so
+	// the reader and dispatcher unwind through one path.
+	watcherDone := make(chan struct{})
+	defer close(watcherDone)
+	go func() {
+		select {
+		case <-ctx.Done():
+			stopOnce.Do(func() { close(stop) })
+		case <-watcherDone:
+		}
+	}()
+
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for job := range jobs {
+				if ctx.Err() != nil {
+					job.res <- streamResult[T]{err: ctx.Err()}
+					continue
+				}
 				val, err := work(job.rel)
 				job.res <- streamResult[T]{val, err}
 			}
@@ -88,7 +107,18 @@ func runStream[T any](src relation.RowReader, cfg Config, work func(*relation.Re
 			rel = relation.New(src.Schema())
 			return true
 		}
+		stopped := func() bool {
+			select {
+			case <-stop:
+				return true
+			default:
+				return false
+			}
+		}
 		for {
+			if stopped() {
+				return
+			}
 			t, err := src.Read()
 			if err == io.EOF {
 				break
@@ -128,6 +158,9 @@ func runStream[T any](src relation.RowReader, cfg Config, work func(*relation.Re
 		}
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if readErr != nil && firstErr == nil {
 		firstErr = readErr
 	}
@@ -140,7 +173,7 @@ func runStream[T any](src relation.RowReader, cfg Config, work func(*relation.Re
 // unknown stream length there is no N to derive either from. The emitted
 // rows are identical to what a materialized mark.Embed pass would
 // produce under the same bandwidth and domain.
-func EmbedReader(src relation.RowReader, dst relation.RowWriter, wm ecc.Bits, opts mark.Options, cfg Config) (mark.EmbedStats, error) {
+func EmbedReader(ctx context.Context, src relation.RowReader, dst relation.RowWriter, wm ecc.Bits, opts mark.Options, cfg Config) (mark.EmbedStats, error) {
 	if err := validateChunkable(opts, "embed"); err != nil {
 		return mark.EmbedStats{}, err
 	}
@@ -149,7 +182,7 @@ func EmbedReader(src relation.RowReader, dst relation.RowWriter, wm ecc.Bits, op
 		return mark.EmbedStats{}, err
 	}
 	var agg mark.ChunkStats
-	err = runStream(src, cfg,
+	err = runStream(ctx, src, cfg,
 		func(rel *relation.Relation) (*streamEmbedOut, error) {
 			cs, err := em.EmbedRange(rel, 0, rel.Len())
 			if err != nil {
@@ -196,7 +229,7 @@ type streamEmbedOut struct {
 // Scanners must have been prepared against src's schema (their key and
 // attribute columns are resolved positions). With zero scanners the stream
 // is not consumed.
-func ScanMany(src relation.RowReader, scanners []*mark.Scanner, cfg Config) ([]*mark.Tally, error) {
+func ScanMany(ctx context.Context, src relation.RowReader, scanners []*mark.Scanner, cfg Config) ([]*mark.Tally, error) {
 	totals := make([]*mark.Tally, len(scanners))
 	for i, sc := range scanners {
 		totals[i] = sc.NewTally()
@@ -204,7 +237,7 @@ func ScanMany(src relation.RowReader, scanners []*mark.Scanner, cfg Config) ([]*
 	if len(scanners) == 0 {
 		return totals, nil
 	}
-	err := runStream(src, cfg,
+	err := runStream(ctx, src, cfg,
 		func(rel *relation.Relation) ([]*mark.Tally, error) {
 			parts := make([]*mark.Tally, len(scanners))
 			for i, sc := range scanners {
@@ -243,8 +276,8 @@ type DetectOutcome struct {
 
 // DetectMany runs ScanMany and aggregates each scanner's tally into its
 // detection report. Outcomes are in scanner order.
-func DetectMany(src relation.RowReader, scanners []*mark.Scanner, cfg Config) ([]DetectOutcome, error) {
-	tallies, err := ScanMany(src, scanners, cfg)
+func DetectMany(ctx context.Context, src relation.RowReader, scanners []*mark.Scanner, cfg Config) ([]DetectOutcome, error) {
+	tallies, err := ScanMany(ctx, src, scanners, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -260,7 +293,7 @@ func DetectMany(src relation.RowReader, scanners []*mark.Scanner, cfg Config) ([
 // opts.BandwidthOverride. The recovered bit string is bit-identical to
 // running mark.Detect over the materialized stream with the same
 // parameters.
-func DetectReader(src relation.RowReader, wmLen int, opts mark.Options, cfg Config) (mark.DetectReport, error) {
+func DetectReader(ctx context.Context, src relation.RowReader, wmLen int, opts mark.Options, cfg Config) (mark.DetectReport, error) {
 	if err := validateChunkable(opts, "detect"); err != nil {
 		return mark.DetectReport{}, err
 	}
@@ -268,7 +301,7 @@ func DetectReader(src relation.RowReader, wmLen int, opts mark.Options, cfg Conf
 	if err != nil {
 		return mark.DetectReport{}, err
 	}
-	outs, err := DetectMany(src, []*mark.Scanner{sc}, cfg)
+	outs, err := DetectMany(ctx, src, []*mark.Scanner{sc}, cfg)
 	if err != nil {
 		return mark.DetectReport{}, err
 	}

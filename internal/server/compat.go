@@ -1,0 +1,30 @@
+// Backward-compatible names for the wire types that used to be declared
+// in this package. The contract now lives in internal/api (shared with
+// the internal/client SDK); these aliases keep existing imports and the
+// original httptest suites compiling unchanged. New code should name the
+// api types directly.
+package server
+
+import "repro/internal/api"
+
+// Deprecated: use the internal/api types directly.
+type (
+	WatermarkRequest    = api.WatermarkRequest
+	WatermarkResponse   = api.WatermarkResponse
+	VerifyRequest       = api.VerifyRequest
+	VerifyResponse      = api.VerifyResponse
+	BatchVerifyRequest  = api.BatchVerifyRequest
+	BatchVerifyResult   = api.BatchVerifyResult
+	BatchVerifyResponse = api.BatchVerifyResponse
+	RecordInfo          = api.RecordInfo
+
+	// apiError keeps the package-internal error alias the test suites
+	// decode into.
+	apiError = api.Error
+)
+
+// Deprecated: use api.ContentTypeCSV / api.ContentTypeNDJSON.
+const (
+	contentTypeCSV    = api.ContentTypeCSV
+	contentTypeNDJSON = api.ContentTypeNDJSON
+)

@@ -17,7 +17,8 @@ import (
 // Run is the shared bootstrap behind cmd/wmserver and `wmtool serve`: it
 // opens the certificate store at storeDir, serves the API on addr, and on
 // SIGINT/SIGTERM drains in-flight requests before returning — embed and
-// verify jobs are never hard-killed mid-write.
+// verify jobs are never hard-killed mid-write. Async jobs still queued or
+// running when the drain completes are cancelled through their contexts.
 func Run(addr, storeDir string, cfg Config) error {
 	st, err := store.Open(storeDir)
 	if err != nil {
@@ -27,6 +28,7 @@ func Run(addr, storeDir string, cfg Config) error {
 		cfg.Log = log.New(os.Stderr, "wmserver: ", log.LstdFlags)
 	}
 	srv := New(st, cfg)
+	defer srv.Close()
 	httpSrv := &http.Server{
 		Addr:              addr,
 		Handler:           srv.Handler(),

@@ -4,24 +4,40 @@
 // worker pool of internal/pipeline, with certificates persisted in an
 // on-disk record store.
 //
-// Endpoints:
+// The wire contract — every request, response, resource and error shape —
+// lives in internal/api and is shared with the internal/client Go SDK;
+// this package only binds those types to routes. Two route generations
+// serve the same types:
 //
-//	POST   /v1/watermark     embed a watermark, persist the certificate
-//	POST   /v1/verify        verify a suspect against a stored or inline certificate
-//	POST   /v1/verify/batch  verify one suspect against many stored certificates in ONE scan
-//	GET    /v1/records       list stored certificate IDs (sorted; ?limit=N)
-//	GET    /v1/records/{id}  inspect a certificate (secret redacted)
-//	DELETE /v1/records/{id}  drop a certificate
-//	GET    /healthz          liveness probe
+//	POST   /v1/watermark      POST   /v2/watermark       embed, persist the certificate
+//	POST   /v1/verify         POST   /v2/verify          verify one suspect
+//	POST   /v1/verify/batch   POST   /v2/verify/batch    verify against many certificates in ONE scan
+//	GET    /v1/records        GET    /v2/records         list certificates (cursor pagination)
+//	GET    /v1/records/{id}   GET    /v2/records/{id}    inspect a certificate (secret redacted)
+//	DELETE /v1/records/{id}   DELETE /v2/records/{id}    drop a certificate
+//	                          POST   /v2/jobs            submit an async job (watermark | verify_batch)
+//	                          GET    /v2/jobs            list jobs, newest first
+//	                          GET    /v2/jobs/{id}       poll a job
+//	                          DELETE /v2/jobs/{id}       cancel a job
+//	GET    /healthz                                      liveness probe
 //
-// Relations travel either inline in JSON request/response bodies as CSV
-// (default) or JSONL text plus the schema-spec grammar of
-// internal/relation, or — on the verify endpoints — as RAW streamed
-// request bodies: POST with Content-Type text/csv or
+// /v1 responses are bit-compatible with their original shapes (the error
+// envelope gained only the machine-readable "code" field; /v1 record
+// listings paginate via the X-Next-After response header, /v2 via the
+// "next" body field). Jobs are /v2-only: long corpus audits run on the
+// bounded worker pool of internal/jobs and are polled, not awaited, by
+// the submitting request.
+//
+// Every handler threads its request context into the execution stack, so
+// a disconnected client stops the scan work it started; job cancellation
+// and server shutdown travel the same way. Relations travel either inline
+// in JSON request/response bodies as CSV (default) or JSONL text plus the
+// schema-spec grammar of internal/relation, or — on the verify endpoints —
+// as RAW streamed request bodies: POST with Content-Type text/csv or
 // application/x-ndjson and the rows flow straight from the socket into
 // the detection pipeline tuple-at-a-time, never materialized in a request
-// struct (parameters travel as query strings). Prepared certificate
-// state is cached across requests (core.ScannerCache), so auditing many
+// struct (parameters travel as query strings). Prepared certificate state
+// is cached across requests (core.ScannerCache), so auditing many
 // suspects against a registered catalog re-derives keys and domains once.
 package server
 
@@ -38,8 +54,9 @@ import (
 	"strings"
 	"time"
 
-	"repro/internal/analysis"
+	"repro/internal/api"
 	"repro/internal/core"
+	"repro/internal/jobs"
 	"repro/internal/relation"
 	"repro/internal/server/store"
 )
@@ -58,15 +75,26 @@ type Config struct {
 	// ScannerCacheEntries bounds the prepared-certificate cache; 0 means
 	// core.DefaultScannerCacheEntries, negative disables the cache.
 	ScannerCacheEntries int
+	// JobWorkers bounds how many async jobs run concurrently; <= 0 means
+	// jobs.DefaultWorkers.
+	JobWorkers int
+	// JobQueueDepth bounds queued-but-not-running jobs; beyond it POST
+	// /v2/jobs replies 429. <= 0 means jobs.DefaultQueueDepth.
+	JobQueueDepth int
+	// JobRetain bounds how many finished jobs stay pollable; <= 0 means
+	// jobs.DefaultRetain.
+	JobRetain int
 	// Log, when non-nil, receives one line per request.
 	Log *log.Logger
 }
 
-// Server handles the HTTP API. Create with New, serve via Handler.
+// Server handles the HTTP API. Create with New, serve via Handler, and
+// Close when done — Close cancels running async jobs.
 type Server struct {
 	store   *store.Store
 	cfg     Config
 	cache   *core.ScannerCache
+	jobs    *jobs.Manager
 	mux     *http.ServeMux
 	started time.Time
 }
@@ -83,31 +111,81 @@ func New(st *store.Store, cfg Config) *Server {
 	if cfg.ScannerCacheEntries >= 0 {
 		s.cache = core.NewScannerCache(cfg.ScannerCacheEntries)
 	}
+	s.jobs = jobs.NewManager(jobs.Config{
+		Workers:    cfg.JobWorkers,
+		QueueDepth: cfg.JobQueueDepth,
+		Retain:     cfg.JobRetain,
+	})
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	s.mux.HandleFunc("POST /v1/watermark", s.handleWatermark)
-	s.mux.HandleFunc("POST /v1/verify", s.handleVerify)
-	s.mux.HandleFunc("POST /v1/verify/batch", s.handleVerifyBatch)
-	s.mux.HandleFunc("GET /v1/records", s.handleListRecords)
-	s.mux.HandleFunc("GET /v1/records/{id}", s.handleGetRecord)
-	s.mux.HandleFunc("DELETE /v1/records/{id}", s.handleDeleteRecord)
+	for _, v := range []string{"/v1", "/v2"} {
+		s.mux.HandleFunc("POST "+v+"/watermark", s.handleWatermark)
+		s.mux.HandleFunc("POST "+v+"/verify", s.handleVerify)
+		s.mux.HandleFunc("POST "+v+"/verify/batch", s.handleVerifyBatch)
+		s.mux.HandleFunc("GET "+v+"/records/{id}", s.handleGetRecord)
+		s.mux.HandleFunc("DELETE "+v+"/records/{id}", s.handleDeleteRecord)
+	}
+	s.mux.HandleFunc("GET /v1/records", s.handleListRecordsV1)
+	s.mux.HandleFunc("GET /v2/records", s.handleListRecordsV2)
+	s.mux.HandleFunc("POST /v2/jobs", s.handleSubmitJob)
+	s.mux.HandleFunc("GET /v2/jobs", s.handleListJobs)
+	s.mux.HandleFunc("GET /v2/jobs/{id}", s.handleGetJob)
+	s.mux.HandleFunc("DELETE /v2/jobs/{id}", s.handleCancelJob)
 	return s
 }
 
-// Handler returns the root handler, with body limiting and logging.
+// Close stops the async-job subsystem: running jobs are cancelled through
+// their contexts and their scan workers exit mid-pass.
+func (s *Server) Close() {
+	s.jobs.Close()
+}
+
+// Handler returns the root handler, with body limiting, structured
+// 404/405 replies, and logging.
 func (s *Server) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
-		s.mux.ServeHTTP(w, r)
+		if _, pattern := s.mux.Handler(r); pattern == "" {
+			// The mux default would reply with an empty-bodied 404/405;
+			// every error this API emits carries the envelope instead.
+			s.handleUnmatched(w, r)
+		} else {
+			s.mux.ServeHTTP(w, r)
+		}
 		if s.cfg.Log != nil {
 			s.cfg.Log.Printf("%s %s %s", r.Method, r.URL.Path, time.Since(start))
 		}
 	})
 }
 
-// apiError is the uniform error body.
-type apiError struct {
-	Error string `json:"error"`
+// probeMethods are the methods handleUnmatched tests a path against to
+// build the Allow header.
+var probeMethods = []string{
+	http.MethodGet, http.MethodHead, http.MethodPost, http.MethodPut,
+	http.MethodPatch, http.MethodDelete, http.MethodOptions,
+}
+
+// handleUnmatched serves requests no registered pattern claims: a path
+// that exists under another method gets 405 with an Allow header, an
+// unknown path gets 404 — both wearing the structured error envelope.
+func (s *Server) handleUnmatched(w http.ResponseWriter, r *http.Request) {
+	var allowed []string
+	for _, m := range probeMethods {
+		if m == r.Method {
+			continue
+		}
+		probe := &http.Request{Method: m, URL: r.URL, Host: r.Host}
+		if _, pattern := s.mux.Handler(probe); pattern != "" {
+			allowed = append(allowed, m)
+		}
+	}
+	if len(allowed) > 0 {
+		w.Header().Set("Allow", strings.Join(allowed, ", "))
+		writeErr(w, api.Errorf(api.CodeMethodNotAllowed,
+			"method %s not allowed for %s (allow: %s)", r.Method, r.URL.Path, strings.Join(allowed, ", ")))
+		return
+	}
+	writeErr(w, api.Errorf(api.CodeNotFound, "no such route: %s %s", r.Method, r.URL.Path))
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -118,8 +196,9 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	enc.Encode(v) //nolint:errcheck // headers are out; nothing left to report
 }
 
-func writeError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...)})
+// writeErr emits a typed api error with its canonical status.
+func writeErr(w http.ResponseWriter, e *api.Error) {
+	writeJSON(w, e.HTTPStatus(), e)
 }
 
 // decodeBody decodes a JSON request body, distinguishing a size-limit
@@ -129,11 +208,11 @@ func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
 	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
 		var maxErr *http.MaxBytesError
 		if errors.As(err, &maxErr) {
-			writeError(w, http.StatusRequestEntityTooLarge,
-				"request body exceeds %d bytes", maxErr.Limit)
+			writeErr(w, api.Errorf(api.CodePayloadTooLarge,
+				"request body exceeds %d bytes", maxErr.Limit))
 			return false
 		}
-		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		writeErr(w, api.Errorf(api.CodeInvalidArgument, "decoding request: %v", err))
 		return false
 	}
 	return true
@@ -166,13 +245,6 @@ func decodeRelation(schemaSpec, format, data string) (*relation.Relation, *relat
 	return r, schema, nil
 }
 
-// Streamable request content types: rows flow straight from the body
-// into the pipeline.
-const (
-	contentTypeCSV    = "text/csv"
-	contentTypeNDJSON = "application/x-ndjson"
-)
-
 // requestMediaType extracts the bare media type of a request body.
 func requestMediaType(r *http.Request) string {
 	ct := r.Header.Get("Content-Type")
@@ -187,7 +259,7 @@ func requestMediaType(r *http.Request) string {
 }
 
 func isStreamType(mt string) bool {
-	return mt == contentTypeCSV || mt == contentTypeNDJSON
+	return mt == api.ContentTypeCSV || mt == api.ContentTypeNDJSON
 }
 
 // rowReaderForFormat builds a streaming row reader for an inline payload
@@ -213,25 +285,13 @@ func streamRowReader(body io.Reader, mt, schemaSpec string) (relation.RowReader,
 		return nil, err
 	}
 	switch mt {
-	case contentTypeCSV:
+	case api.ContentTypeCSV:
 		return rowReaderForFormat("csv", body, schema)
-	case contentTypeNDJSON:
+	case api.ContentTypeNDJSON:
 		return rowReaderForFormat("jsonl", body, schema)
 	default:
 		return nil, fmt.Errorf("unsupported content type %q", mt)
 	}
-}
-
-// writeScanError reports a failed streaming scan: a tripped body limit is
-// 413 (shrink and retry), anything else is a malformed suspect (400).
-func writeScanError(w http.ResponseWriter, err error) {
-	var maxErr *http.MaxBytesError
-	if errors.As(err, &maxErr) {
-		writeError(w, http.StatusRequestEntityTooLarge,
-			"request body exceeds %d bytes", maxErr.Limit)
-		return
-	}
-	writeError(w, http.StatusBadRequest, "suspect data: %v", err)
 }
 
 // encodeRelation renders a relation back into a payload string.
@@ -258,159 +318,19 @@ func (s *Server) workersFor(requested int) int {
 	return s.cfg.Workers
 }
 
-// WatermarkRequest is the POST /v1/watermark body.
-type WatermarkRequest struct {
-	// Schema is the schema-spec string, e.g.
-	// "Visit_Nbr:int!key, Item_Nbr:int:categorical".
-	Schema string `json:"schema"`
-	// Format of Data: "csv" (default) or "jsonl".
-	Format string `json:"format,omitempty"`
-	// Data is the relation payload.
-	Data string `json:"data"`
-	// Secret is the owner's master passphrase.
-	Secret string `json:"secret"`
-	// Attribute is the categorical attribute to watermark.
-	Attribute string `json:"attribute"`
-	// KeyAttr optionally overrides the key attribute.
-	KeyAttr string `json:"key_attr,omitempty"`
-	// WM is the watermark bit string.
-	WM string `json:"wm"`
-	// E is the fitness parameter (default 60).
-	E uint64 `json:"e,omitempty"`
-	// Domain optionally fixes the value catalog.
-	Domain []string `json:"domain,omitempty"`
-	// FrequencyChannel additionally embeds into the histogram.
-	FrequencyChannel bool `json:"frequency_channel,omitempty"`
-	// MaxAlterationFraction bounds total data change (0 = unlimited).
-	// Forces a sequential pass — the quality budget is order-dependent.
-	MaxAlterationFraction float64 `json:"max_alteration_fraction,omitempty"`
-	// Workers overrides the server's pipeline worker count for this job.
-	Workers int `json:"workers,omitempty"`
-}
-
-// WatermarkResponse is the POST /v1/watermark reply.
-type WatermarkResponse struct {
-	// ID is the stored certificate's identifier; pass it to /v1/verify.
-	ID string `json:"id"`
-	// Data is the watermarked relation in the request's format.
-	Data string `json:"data"`
-	// Tuples, Fit, Altered, Bandwidth summarize the embedding pass.
-	Tuples         int     `json:"tuples"`
-	Fit            int     `json:"fit"`
-	Altered        int     `json:"altered"`
-	AlterationRate float64 `json:"alteration_rate"`
-	Bandwidth      int     `json:"bandwidth"`
-	// FrequencyMoved counts tuples moved by the frequency channel.
-	FrequencyMoved int `json:"frequency_moved,omitempty"`
-}
+// ---- HTTP handlers: thin decode/reply shells over the exec layer ----
 
 func (s *Server) handleWatermark(w http.ResponseWriter, r *http.Request) {
-	var req WatermarkRequest
+	var req api.WatermarkRequest
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	rel, _, err := decodeRelation(req.Schema, req.Format, req.Data)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "relation: %v", err)
+	resp, aerr := s.execWatermark(r.Context(), req)
+	if aerr != nil {
+		writeErr(w, aerr)
 		return
 	}
-	var dom *relation.Domain
-	if len(req.Domain) > 0 {
-		if dom, err = relation.NewDomain(req.Domain); err != nil {
-			writeError(w, http.StatusBadRequest, "domain: %v", err)
-			return
-		}
-	}
-	rec, st, err := core.Watermark(rel, core.Spec{
-		Secret:                req.Secret,
-		Attribute:             req.Attribute,
-		KeyAttr:               req.KeyAttr,
-		WM:                    req.WM,
-		E:                     req.E,
-		Domain:                dom,
-		WithFrequencyChannel:  req.FrequencyChannel,
-		MaxAlterationFraction: req.MaxAlterationFraction,
-		Workers:               s.workersFor(req.Workers),
-	})
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "watermark: %v", err)
-		return
-	}
-	id, err := s.store.Put(rec)
-	if err != nil {
-		writeError(w, http.StatusInternalServerError, "persisting record: %v", err)
-		return
-	}
-	data, err := encodeRelation(rel, req.Format)
-	if err != nil {
-		writeError(w, http.StatusInternalServerError, "encoding result: %v", err)
-		return
-	}
-	writeJSON(w, http.StatusOK, WatermarkResponse{
-		ID:             id,
-		Data:           data,
-		Tuples:         st.Mark.Tuples,
-		Fit:            st.Mark.Fit,
-		Altered:        st.Mark.Altered,
-		AlterationRate: st.Mark.AlterationRate(),
-		Bandwidth:      st.Mark.Bandwidth,
-		FrequencyMoved: st.FrequencyMoved,
-	})
-}
-
-// VerifyRequest is the POST /v1/verify body. Exactly one of ID (a stored
-// certificate) or Record (an inline certificate) must be set.
-type VerifyRequest struct {
-	ID     string       `json:"id,omitempty"`
-	Record *core.Record `json:"record,omitempty"`
-	// Schema/Format/Data carry the suspect relation, as in /v1/watermark.
-	Schema  string `json:"schema"`
-	Format  string `json:"format,omitempty"`
-	Data    string `json:"data"`
-	Workers int    `json:"workers,omitempty"`
-}
-
-// VerifyResponse is the POST /v1/verify reply.
-type VerifyResponse struct {
-	// Match is the fraction of watermark bits recovered; 1.0 is perfect.
-	Match float64 `json:"match"`
-	// Detected is the recovered bit string.
-	Detected string `json:"detected"`
-	// Verdict is "present", "partial" or "absent" at the wmtool
-	// thresholds (>= 0.9, >= 0.7).
-	Verdict string `json:"verdict"`
-	// RemapRecovered notes a Section 4.5 inverse-mapping recovery.
-	RemapRecovered bool `json:"remap_recovered,omitempty"`
-	// FrequencyMatch is the secondary channel's agreement (-1 = unused).
-	FrequencyMatch float64 `json:"frequency_match"`
-	// FalsePositiveProb is the chance of a full match on unmarked data.
-	FalsePositiveProb float64 `json:"false_positive_prob"`
-}
-
-// verdictFor maps a bit-agreement fraction onto the API verdict scale,
-// at the shared core thresholds.
-func verdictFor(match float64) string {
-	switch {
-	case match >= core.PresentThreshold:
-		return "present"
-	case match >= core.PartialThreshold:
-		return "partial"
-	default:
-		return "absent"
-	}
-}
-
-// loadStoredRecord fetches a certificate by ID, replying on failure.
-func (s *Server) loadStoredRecord(w http.ResponseWriter, id string) (*core.Record, bool) {
-	rec, err := s.store.Get(id)
-	if errors.Is(err, store.ErrNotFound) {
-		writeError(w, http.StatusNotFound, "%v", err)
-		return nil, false
-	} else if err != nil {
-		writeError(w, http.StatusInternalServerError, "%v", err)
-		return nil, false
-	}
-	return rec, true
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
@@ -418,50 +338,19 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 		s.handleVerifyStream(w, r, mt)
 		return
 	}
-	var req VerifyRequest
+	var req api.VerifyRequest
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	var rec *core.Record
-	switch {
-	case req.ID != "" && req.Record != nil:
-		writeError(w, http.StatusBadRequest, "pass either id or record, not both")
-		return
-	case req.ID != "":
-		var ok bool
-		if rec, ok = s.loadStoredRecord(w, req.ID); !ok {
-			return
-		}
-	case req.Record != nil:
-		rec = req.Record
-	default:
-		writeError(w, http.StatusBadRequest, "missing certificate: pass id or record")
+	resp, aerr := s.execVerify(r.Context(), req)
+	if aerr != nil {
+		writeErr(w, aerr)
 		return
 	}
-	suspect, _, err := decodeRelation(req.Schema, req.Format, req.Data)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "relation: %v", err)
-		return
-	}
-	rep, err := rec.VerifyWith(suspect, core.VerifyOptions{
-		Workers: s.workersFor(req.Workers),
-		Cache:   s.cache,
-	})
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "verify: %v", err)
-		return
-	}
-	writeJSON(w, http.StatusOK, VerifyResponse{
-		Match:             rep.Match,
-		Detected:          rep.Detected,
-		Verdict:           verdictFor(rep.Match),
-		RemapRecovered:    rep.RemapRecovered,
-		FrequencyMatch:    rep.FrequencyMatch,
-		FalsePositiveProb: analysis.FalsePositiveProb(len(rec.WM)),
-	})
+	writeJSON(w, http.StatusOK, resp)
 }
 
-// handleVerifyStream serves POST /v1/verify with a raw text/csv or
+// handleVerifyStream serves POST verify with a raw text/csv or
 // application/x-ndjson body: the suspect rows flow from the socket into
 // the detection pipeline without ever being materialized server-side.
 // Parameters travel as query strings — id (a stored certificate,
@@ -470,208 +359,91 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 // and frequency-channel rescans of the materialized path do not apply.
 func (s *Server) handleVerifyStream(w http.ResponseWriter, r *http.Request, mt string) {
 	q := r.URL.Query()
-	if q.Get("id") == "" {
-		writeError(w, http.StatusBadRequest,
-			"streaming verify needs an id query parameter naming a stored certificate")
-		return
-	}
-	rec, ok := s.loadStoredRecord(w, q.Get("id"))
-	if !ok {
+	id := q.Get("id")
+	if id == "" {
+		writeErr(w, api.Errorf(api.CodeInvalidArgument,
+			"streaming verify needs an id query parameter naming a stored certificate"))
 		return
 	}
 	src, err := streamRowReader(r.Body, mt, q.Get("schema"))
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "relation: %v", err)
+		writeErr(w, api.Errorf(api.CodeInvalidArgument, "relation: %v", err))
 		return
 	}
 	workers, _ := strconv.Atoi(q.Get("workers"))
-	outs, err := core.VerifyBatch([]*core.Record{rec}, src, core.BatchOptions{
-		Workers: s.workersFor(workers),
-		Cache:   s.cache,
-	})
-	if err != nil {
-		writeScanError(w, err)
+	batch, aerr := s.execVerifyBatchScan(r.Context(), []string{id}, true, src, workers)
+	if aerr != nil {
+		writeErr(w, aerr)
 		return
 	}
-	if outs[0].Err != nil {
-		writeError(w, http.StatusBadRequest, "verify: %v", outs[0].Err)
+	res := batch.Results[0]
+	if res.Error != "" {
+		writeErr(w, api.Errorf(api.CodeInvalidArgument, "verify: %s", res.Error))
 		return
 	}
-	rep := outs[0].Report
-	writeJSON(w, http.StatusOK, VerifyResponse{
-		Match:             rep.Match,
-		Detected:          rep.Detected,
-		Verdict:           verdictFor(rep.Match),
-		FrequencyMatch:    rep.FrequencyMatch,
-		FalsePositiveProb: analysis.FalsePositiveProb(len(rec.WM)),
+	writeJSON(w, http.StatusOK, api.VerifyResponse{
+		Match:             res.Match,
+		Detected:          res.Detected,
+		Verdict:           res.Verdict,
+		FrequencyMatch:    -1,
+		FalsePositiveProb: falsePositiveForDetected(res.Detected),
 	})
-}
-
-// BatchVerifyRequest is the JSON form of the POST /v1/verify/batch body.
-// The same endpoint also accepts a RAW streamed suspect (Content-Type
-// text/csv or application/x-ndjson) with records/schema/workers as query
-// parameters — the corpus-scale path, since the dataset is never held in
-// a request struct.
-type BatchVerifyRequest struct {
-	// Records selects stored certificate IDs to verify against; empty
-	// means every stored certificate.
-	Records []string `json:"records,omitempty"`
-	// Schema/Format/Data carry the suspect relation, as in /v1/verify.
-	Schema  string `json:"schema"`
-	Format  string `json:"format,omitempty"`
-	Data    string `json:"data"`
-	Workers int    `json:"workers,omitempty"`
-}
-
-// BatchVerifyResult is one certificate's outcome in a batch reply.
-type BatchVerifyResult struct {
-	ID string `json:"id"`
-	// Match/Detected/Verdict mirror VerifyResponse (primary channel only;
-	// the one-pass scan does not attempt remap recovery or the frequency
-	// channel).
-	Match    float64 `json:"match"`
-	Detected string  `json:"detected,omitempty"`
-	Verdict  string  `json:"verdict,omitempty"`
-	// Error reports a per-certificate failure; the batch still completes.
-	Error string `json:"error,omitempty"`
-}
-
-// BatchVerifyResponse is the POST /v1/verify/batch reply; results follow
-// the requested certificate order (or sorted ID order when verifying the
-// whole catalog).
-type BatchVerifyResponse struct {
-	Results []BatchVerifyResult `json:"results"`
-	// Tuples is the number of suspect rows scanned — once, no matter how
-	// many certificates were checked.
-	Tuples int `json:"tuples"`
 }
 
 // handleVerifyBatch verifies one uploaded suspect dataset against many
 // stored certificates in a single scan (core.VerifyBatch): the audit
 // primitive for "does anyone's watermark survive in this corpus?".
 func (s *Server) handleVerifyBatch(w http.ResponseWriter, r *http.Request) {
-	var ids []string
-	var workers int
-	var src relation.RowReader
 	if mt := requestMediaType(r); isStreamType(mt) {
 		q := r.URL.Query()
-		for _, id := range strings.Split(q.Get("records"), ",") {
-			if id = strings.TrimSpace(id); id != "" {
-				ids = append(ids, id)
-			}
-		}
-		workers, _ = strconv.Atoi(q.Get("workers"))
-		var err error
-		if src, err = streamRowReader(r.Body, mt, q.Get("schema")); err != nil {
-			writeError(w, http.StatusBadRequest, "relation: %v", err)
-			return
-		}
-	} else {
-		var req BatchVerifyRequest
-		if !decodeBody(w, r, &req) {
-			return
-		}
-		if req.Schema == "" || req.Data == "" {
-			writeError(w, http.StatusBadRequest, "missing schema or data")
-			return
-		}
-		schema, err := relation.ParseSchemaSpec(req.Schema)
+		ids := splitIDs(q.Get("records"))
+		workers, _ := strconv.Atoi(q.Get("workers"))
+		src, err := streamRowReader(r.Body, mt, q.Get("schema"))
 		if err != nil {
-			writeError(w, http.StatusBadRequest, "relation: %v", err)
+			writeErr(w, api.Errorf(api.CodeInvalidArgument, "relation: %v", err))
 			return
 		}
-		if src, err = rowReaderForFormat(req.Format, strings.NewReader(req.Data), schema); err != nil {
-			writeError(w, http.StatusBadRequest, "relation: %v", err)
+		resp, aerr := s.execVerifyBatchScan(r.Context(), ids, len(ids) != 0, src, workers)
+		if aerr != nil {
+			writeErr(w, aerr)
 			return
 		}
-		ids, workers = req.Records, req.Workers
-	}
-
-	// Explicitly requested IDs must all resolve (an unknown one is a
-	// 404); in whole-catalog mode a record deleted between List and Get
-	// is reported per-certificate instead of failing the audit.
-	explicit := len(ids) != 0
-	if !explicit {
-		all, err := s.store.List()
-		if err != nil {
-			writeError(w, http.StatusInternalServerError, "%v", err)
-			return
-		}
-		if len(all) == 0 {
-			writeError(w, http.StatusBadRequest, "no stored certificates to verify against")
-			return
-		}
-		ids = all
-	}
-	resp := BatchVerifyResponse{Results: make([]BatchVerifyResult, len(ids))}
-	var recs []*core.Record
-	var live []int // position in recs -> position in ids
-	for i, id := range ids {
-		id = strings.TrimSpace(id)
-		resp.Results[i].ID = id
-		rec, err := s.store.Get(id)
-		switch {
-		case err == nil:
-			recs = append(recs, rec)
-			live = append(live, i)
-		case errors.Is(err, store.ErrNotFound) && !explicit:
-			resp.Results[i].Error = err.Error()
-		case errors.Is(err, store.ErrNotFound):
-			writeError(w, http.StatusNotFound, "%v", err)
-			return
-		default:
-			writeError(w, http.StatusInternalServerError, "%v", err)
-			return
-		}
-	}
-
-	outs, err := core.VerifyBatch(recs, src, core.BatchOptions{
-		Workers: s.workersFor(workers),
-		Cache:   s.cache,
-	})
-	if err != nil {
-		writeScanError(w, err)
+		writeJSON(w, http.StatusOK, resp)
 		return
 	}
-	for j, out := range outs {
-		res := &resp.Results[live[j]]
-		if out.Err != nil {
-			res.Error = out.Err.Error()
-		} else {
-			res.Match = out.Report.Match
-			res.Detected = out.Report.Detected
-			res.Verdict = verdictFor(out.Report.Match)
-			resp.Tuples = out.Report.Primary.Tuples
-		}
+	var req api.BatchVerifyRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	resp, aerr := s.execVerifyBatch(r.Context(), req)
+	if aerr != nil {
+		writeErr(w, aerr)
+		return
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// RecordInfo is the GET /v1/records/{id} reply: the certificate's public
-// shape with the secret redacted — holders of the store's directory can
-// read the raw files, but the API never echoes secrets.
-type RecordInfo struct {
-	ID                  string `json:"id"`
-	Attribute           string `json:"attribute"`
-	KeyAttr             string `json:"key_attr,omitempty"`
-	WMBits              int    `json:"wm_bits"`
-	E                   uint64 `json:"e"`
-	Bandwidth           int    `json:"bandwidth"`
-	DomainSize          int    `json:"domain_size"`
-	HasFrequencyChannel bool   `json:"has_frequency_channel"`
+// splitIDs parses a comma-separated records selection, tolerating blanks.
+func splitIDs(raw string) []string {
+	var ids []string
+	for _, id := range strings.Split(raw, ",") {
+		if id = strings.TrimSpace(id); id != "" {
+			ids = append(ids, id)
+		}
+	}
+	return ids
 }
+
+// ---- record resources ----
 
 func (s *Server) handleGetRecord(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	rec, err := s.store.Get(id)
-	if errors.Is(err, store.ErrNotFound) {
-		writeError(w, http.StatusNotFound, "%v", err)
-		return
-	} else if err != nil {
-		writeError(w, http.StatusInternalServerError, "%v", err)
+	rec, aerr := s.loadStoredRecord(id)
+	if aerr != nil {
+		writeErr(w, aerr)
 		return
 	}
-	writeJSON(w, http.StatusOK, RecordInfo{
+	writeJSON(w, http.StatusOK, api.RecordInfo{
 		ID:                  id,
 		Attribute:           rec.Attribute,
 		KeyAttr:             rec.KeyAttr,
@@ -687,35 +459,66 @@ func (s *Server) handleDeleteRecord(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	err := s.store.Delete(id)
 	if errors.Is(err, store.ErrNotFound) {
-		writeError(w, http.StatusNotFound, "%v", err)
+		writeErr(w, api.Errorf(api.CodeNotFound, "%v", err))
 		return
 	} else if err != nil {
-		writeError(w, http.StatusInternalServerError, "%v", err)
+		writeErr(w, api.Errorf(api.CodeInternal, "%v", err))
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"deleted": id})
+	writeJSON(w, http.StatusOK, api.DeleteResponse{Deleted: id})
 }
 
-func (s *Server) handleListRecords(w http.ResponseWriter, r *http.Request) {
-	ids, err := s.store.List() // sorted by ID: listing is deterministic
-	if err != nil {
-		writeError(w, http.StatusInternalServerError, "%v", err)
-		return
-	}
-	if v := r.URL.Query().Get("limit"); v != "" {
+// listPage parses the shared pagination query parameters and walks the
+// store. Returns ok=false after replying on a bad parameter.
+func (s *Server) listPage(w http.ResponseWriter, r *http.Request) (page api.RecordList, ok bool) {
+	q := r.URL.Query()
+	limit := 0
+	if v := q.Get("limit"); v != "" {
 		n, err := strconv.Atoi(v)
 		if err != nil || n < 0 {
-			writeError(w, http.StatusBadRequest, "invalid limit %q", v)
-			return
+			writeErr(w, api.Errorf(api.CodeInvalidArgument, "invalid limit %q", v))
+			return page, false
 		}
-		if n < len(ids) {
-			ids = ids[:n]
+		if n == 0 {
+			// Historical /v1 semantics: limit=0 truncates to nothing.
+			page.Records = []string{}
+			return page, true
 		}
+		limit = n
+	}
+	ids, next, err := s.store.ListPage(q.Get("after"), limit)
+	if err != nil {
+		writeErr(w, api.Errorf(api.CodeInternal, "%v", err))
+		return page, false
 	}
 	if ids == nil {
 		ids = []string{}
 	}
-	writeJSON(w, http.StatusOK, map[string][]string{"records": ids})
+	page.Records, page.Next = ids, next
+	return page, true
+}
+
+// handleListRecordsV1 keeps the original body shape {"records": [...]};
+// the next-page cursor travels in the X-Next-After header.
+func (s *Server) handleListRecordsV1(w http.ResponseWriter, r *http.Request) {
+	page, ok := s.listPage(w, r)
+	if !ok {
+		return
+	}
+	if page.Next != "" {
+		w.Header().Set(api.NextAfterHeader, page.Next)
+	}
+	writeJSON(w, http.StatusOK, map[string][]string{"records": page.Records})
+}
+
+// handleListRecordsV2 returns the full RecordList resource, cursor in the
+// body.
+func (s *Server) handleListRecordsV2(w http.ResponseWriter, r *http.Request) {
+	page, ok := s.listPage(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, page)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -723,6 +526,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"status":         "ok",
 		"uptime_seconds": int(time.Since(s.started).Seconds()),
 		"workers":        s.cfg.Workers,
+		"jobs":           s.jobs.Stats(),
 	}
 	if s.cache != nil {
 		body["scanner_cache"] = s.cache.Stats()

@@ -198,36 +198,97 @@ var shardPattern = regexp.MustCompile(`^[0-9a-f]{2}$`)
 
 // List returns the IDs of every stored record, sorted.
 func (s *Store) List() ([]string, error) {
+	ids, _, err := s.ListPage("", 0)
+	return ids, err
+}
+
+// ListPage returns up to limit record IDs strictly after the cursor
+// `after` in sorted order, plus the cursor for the next page (empty when
+// the listing is exhausted). limit <= 0 means no bound. This is the
+// primitive behind GET /records?limit=N&after=<id>: because record IDs
+// shard by their first two hex digits, shards ARE lexical buckets — a
+// page walk skips every shard before the cursor and stops as soon as the
+// page fills, so walking a million-record store page by page never sorts
+// the whole catalog per request.
+func (s *Store) ListPage(after string, limit int) (ids []string, next string, err error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	entries, err := os.ReadDir(s.dir)
 	if err != nil {
-		return nil, fmt.Errorf("store: %w", err)
+		return nil, "", fmt.Errorf("store: %w", err)
 	}
-	var ids []string
-	collect := func(entries []os.DirEntry) {
-		for _, e := range entries {
-			name := e.Name()
-			id := strings.TrimSuffix(name, recordExt)
-			if e.IsDir() || id == name || !idPattern.MatchString(id) {
-				continue // temp files, strays
+
+	// Legacy flat files dropped in behind Open's back still list; group
+	// them into their would-be shard buckets so the bucket walk below
+	// stays in global ID order.
+	flat := map[string][]string{}
+	buckets := map[string]bool{}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() {
+			if shardPattern.MatchString(name) {
+				buckets[name] = true
+			}
+			continue
+		}
+		id := strings.TrimSuffix(name, recordExt)
+		if id == name || !idPattern.MatchString(id) {
+			continue // temp files, strays
+		}
+		flat[id[:2]] = append(flat[id[:2]], id)
+		buckets[id[:2]] = true
+	}
+	ordered := make([]string, 0, len(buckets))
+	for b := range buckets {
+		ordered = append(ordered, b)
+	}
+	sort.Strings(ordered)
+
+	want := limit
+	if want > 0 {
+		want++ // one extra decides whether a next page exists
+	}
+	// The cursor is compared as an opaque string, so any value is safe —
+	// but only a cursor with a full 2-hex prefix can skip whole shards.
+	afterShard := ""
+	if len(after) >= 2 {
+		afterShard = after[:2]
+	}
+	for _, bucket := range ordered {
+		if bucket < afterShard {
+			continue // the whole shard precedes the cursor
+		}
+		page := append([]string(nil), flat[bucket]...)
+		if _, statErr := os.Stat(filepath.Join(s.dir, bucket)); statErr == nil {
+			sub, err := os.ReadDir(filepath.Join(s.dir, bucket))
+			if err != nil {
+				return nil, "", fmt.Errorf("store: %w", err)
+			}
+			for _, e := range sub {
+				name := e.Name()
+				id := strings.TrimSuffix(name, recordExt)
+				if e.IsDir() || id == name || !idPattern.MatchString(id) {
+					continue
+				}
+				page = append(page, id)
+			}
+		}
+		sort.Strings(page)
+		for _, id := range page {
+			if after != "" && id <= after {
+				continue
 			}
 			ids = append(ids, id)
 		}
-	}
-	collect(entries) // flat files dropped in behind Open's back still list
-	for _, e := range entries {
-		if !e.IsDir() || !shardPattern.MatchString(e.Name()) {
-			continue
+		if want > 0 && len(ids) >= want {
+			break // later shards only hold larger IDs
 		}
-		sub, err := os.ReadDir(filepath.Join(s.dir, e.Name()))
-		if err != nil {
-			return nil, fmt.Errorf("store: %w", err)
-		}
-		collect(sub)
 	}
-	sort.Strings(ids)
-	return ids, nil
+	if limit > 0 && len(ids) > limit {
+		ids = ids[:limit]
+		next = ids[limit-1]
+	}
+	return ids, next, nil
 }
 
 // shardDir returns the fan-out subdirectory a record ID lives in.

@@ -247,3 +247,123 @@ func TestOpenMigratesFlatStore(t *testing.T) {
 		t.Fatalf("legacy fallback Delete: %v", err)
 	}
 }
+
+// TestListPageWalksWholeStore pages through a store with a cursor and
+// asserts the concatenated pages equal the full sorted listing, with a
+// mix of sharded and legacy flat records.
+func TestListPageWalksWholeStore(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]string, 0, 23)
+	for i := 0; i < 20; i++ {
+		id, err := s.Put(testRecord("1011"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, id)
+	}
+	// Legacy flat files dropped in behind Open's back must paginate too.
+	for i := 0; i < 3; i++ {
+		id, err := NewID()
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := testRecord("1100").Save()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, id+recordExt), data, 0o600); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, id)
+	}
+	sort.Strings(want)
+
+	var got []string
+	after := ""
+	for page := 0; ; page++ {
+		if page > 30 {
+			t.Fatal("pagination never terminated")
+		}
+		ids, next, err := s.ListPage(after, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ids) > 4 {
+			t.Fatalf("page of %d ids, limit 4", len(ids))
+		}
+		got = append(got, ids...)
+		if next == "" {
+			break
+		}
+		if next != ids[len(ids)-1] {
+			t.Fatalf("next cursor %s != last id %s", next, ids[len(ids)-1])
+		}
+		after = next
+	}
+	if len(got) != len(want) {
+		t.Fatalf("paged %d ids, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("page walk diverged at %d: %s != %s", i, got[i], want[i])
+		}
+	}
+	if !sort.StringsAreSorted(got) {
+		t.Fatalf("page walk unsorted: %v", got)
+	}
+
+	// An exact-boundary page must not fabricate a next cursor.
+	ids, next, err := s.ListPage(want[len(want)-2], 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 1 || ids[0] != want[len(want)-1] || next != "" {
+		t.Fatalf("final page: ids=%v next=%q", ids, next)
+	}
+	// A cursor at the end yields an empty page.
+	if ids, next, err = s.ListPage(want[len(want)-1], 5); err != nil || len(ids) != 0 || next != "" {
+		t.Fatalf("past-the-end page: ids=%v next=%q err=%v", ids, next, err)
+	}
+}
+
+// TestListPageShortCursor asserts arbitrary (attacker-supplied) cursors —
+// shorter than a shard prefix, or garbage — page safely instead of
+// panicking, since `after` arrives straight off a query parameter.
+func TestListPageShortCursor(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []string
+	for i := 0; i < 4; i++ {
+		id, err := s.Put(testRecord("1011"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, id)
+	}
+	sort.Strings(want)
+	for _, after := range []string{"a", "0", "!", "zzz", "..", "0g"} {
+		ids, _, err := s.ListPage(after, 10)
+		if err != nil {
+			t.Fatalf("after=%q: %v", after, err)
+		}
+		for _, id := range ids {
+			if id <= after {
+				t.Fatalf("after=%q returned id %s not past the cursor", after, id)
+			}
+		}
+	}
+	// A short cursor that precedes every hex ID returns everything.
+	ids, _, err := s.ListPage("!", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != len(want) {
+		t.Fatalf("cursor %q returned %d ids, want %d", "!", len(ids), len(want))
+	}
+}
