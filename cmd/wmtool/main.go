@@ -741,6 +741,11 @@ func printBatchResults(in, serverURL string, resp *api.BatchVerifyResponse) {
 // upload returns immediately, the scan runs on the server's job pool,
 // and Ctrl-C'ing the wait leaves the job running server-side (cancel it
 // with DELETE /v2/jobs/{id} if that is not wanted).
+//
+// The wait polls under capped exponential backoff with jitter (fast
+// first polls so short audits return promptly, a few requests a minute
+// once the job is clearly long) and prints the server's tuples-scanned
+// progress as it advances; -poll pins a fixed interval instead.
 func cmdAudit(args []string) error {
 	fs := flag.NewFlagSet("audit", flag.ExitOnError)
 	serverURL := fs.String("server", "", "wmserver base URL (required)")
@@ -749,7 +754,8 @@ func cmdAudit(args []string) error {
 	records := fs.String("records", "", "comma-separated stored certificate IDs (empty = whole catalog)")
 	workers := fs.Int("parallel", 0, "server-side scan workers (0 = server default)")
 	nowait := fs.Bool("nowait", false, "submit and print the job ID without waiting")
-	poll := fs.Duration("poll", client.DefaultPollInterval, "poll interval while waiting")
+	poll := fs.Duration("poll", 0, "fixed poll interval while waiting (0 = capped exponential backoff with jitter)")
+	quiet := fs.Bool("quiet", false, "suppress progress lines while waiting")
 	fs.Parse(args)
 
 	if *serverURL == "" || *in == "" || *spec == "" {
@@ -780,7 +786,20 @@ func cmdAudit(args []string) error {
 	}
 
 	start := time.Now()
-	final, err := c.WaitJob(ctx, job.ID, *poll)
+	waitOpts := client.WaitOptions{}
+	if *poll > 0 {
+		waitOpts.Initial, waitOpts.Max, waitOpts.Jitter = *poll, *poll, -1
+	}
+	if !*quiet {
+		var lastProgress int64 = -1
+		waitOpts.Notify = func(j *api.Job) {
+			if j.State == api.JobRunning && j.Progress > lastProgress {
+				fmt.Printf("  ... %d tuples scanned (%s)\n", j.Progress, time.Since(start).Round(time.Second))
+				lastProgress = j.Progress
+			}
+		}
+	}
+	final, err := c.WaitJobWith(ctx, job.ID, waitOpts)
 	if err != nil {
 		return err
 	}

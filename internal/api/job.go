@@ -53,6 +53,11 @@ type Job struct {
 	CreatedAt  time.Time  `json:"created_at"`
 	StartedAt  *time.Time `json:"started_at,omitempty"`
 	FinishedAt *time.Time `json:"finished_at,omitempty"`
+	// Progress is the number of tuples the job has processed so far —
+	// live while the job runs (poll GET /v2/jobs/{id} to watch a corpus
+	// audit advance), final once it stops. Zero until the job starts
+	// work, and omitted for job kinds that do not meter themselves.
+	Progress int64 `json:"progress,omitempty"`
 	// Error is set when State is failed (why it failed) or cancelled
 	// (code "cancelled").
 	Error *Error `json:"error,omitempty"`

@@ -28,6 +28,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"net/url"
 	"strconv"
@@ -267,30 +268,108 @@ func (c *Client) CancelJob(ctx context.Context, id string) (*api.Job, error) {
 // DefaultPollInterval paces WaitJob when the caller passes 0.
 const DefaultPollInterval = 250 * time.Millisecond
 
-// WaitJob polls until the job reaches a terminal state (done, failed,
-// cancelled) and returns its final resource; the outcome of failed and
-// cancelled jobs is in Job.Error, not in WaitJob's error (which reports
-// transport/ctx problems only). poll <= 0 means DefaultPollInterval.
-func (c *Client) WaitJob(ctx context.Context, id string, poll time.Duration) (*api.Job, error) {
-	if poll <= 0 {
-		poll = DefaultPollInterval
+// Defaults for WaitOptions' zero values: start polling fast enough that
+// short jobs return promptly, back off geometrically so day-long audits
+// cost a handful of requests a minute, and jitter each delay so a fleet
+// of waiting clients never thunders in phase.
+const (
+	DefaultWaitInitial    = 100 * time.Millisecond
+	DefaultWaitMax        = 5 * time.Second
+	DefaultWaitMultiplier = 1.6
+	DefaultWaitJitter     = 0.2
+)
+
+// WaitOptions tunes WaitJobWith's polling loop.
+type WaitOptions struct {
+	// Initial is the delay after the first poll; <= 0 means
+	// DefaultWaitInitial.
+	Initial time.Duration
+	// Max caps the grown delay; <= 0 means DefaultWaitMax. Setting
+	// Initial == Max fixes the interval.
+	Max time.Duration
+	// Multiplier grows the delay after each poll; values <= 1 mean
+	// DefaultWaitMultiplier (set Initial == Max for a constant rate
+	// instead).
+	Multiplier float64
+	// Jitter is the fraction of every delay randomized away: a delay d
+	// sleeps between d*(1-Jitter) and d. 0 means DefaultWaitJitter;
+	// negative disables jitter.
+	Jitter float64
+	// Notify, when non-nil, observes every polled job resource — the
+	// hook progress displays hang off (Job.Progress is the server's
+	// tuples-processed counter). It runs on the polling goroutine;
+	// returning promptly keeps the cadence honest.
+	Notify func(*api.Job)
+}
+
+// WaitJobWith polls until the job reaches a terminal state (done,
+// failed, cancelled) under capped exponential backoff with jitter, and
+// returns the final resource; the outcome of failed and cancelled jobs
+// is in Job.Error, not in WaitJobWith's error (which reports
+// transport/ctx problems only).
+func (c *Client) WaitJobWith(ctx context.Context, id string, o WaitOptions) (*api.Job, error) {
+	delay := o.Initial
+	if delay <= 0 {
+		delay = DefaultWaitInitial
 	}
-	t := time.NewTicker(poll)
-	defer t.Stop()
+	max := o.Max
+	if max <= 0 {
+		max = DefaultWaitMax
+	}
+	mult := o.Multiplier
+	if mult <= 1 {
+		mult = DefaultWaitMultiplier
+	}
+	jitter := o.Jitter
+	if jitter == 0 {
+		jitter = DefaultWaitJitter
+	} else if jitter > 1 {
+		jitter = 1 // a fraction: anything larger would go negative and hot-loop
+	}
+	timer := time.NewTimer(0)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	defer timer.Stop()
 	for {
 		job, err := c.Job(ctx, id)
 		if err != nil {
 			return nil, err
 		}
+		if o.Notify != nil {
+			o.Notify(job)
+		}
 		if job.State.Terminal() {
 			return job, nil
 		}
+		d := min(delay, max)
+		if jitter > 0 {
+			d = time.Duration(float64(d) * (1 - jitter*rand.Float64()))
+		}
+		timer.Reset(d)
 		select {
 		case <-ctx.Done():
 			return nil, ctx.Err()
-		case <-t.C:
+		case <-timer.C:
+		}
+		if next := time.Duration(float64(delay) * mult); next > delay {
+			delay = next // guard against overflow freezing the growth
+		} else {
+			delay = max
 		}
 	}
+}
+
+// WaitJob polls at a fixed interval until the job reaches a terminal
+// state — WaitJobWith with Initial == Max and no jitter. poll <= 0 means
+// DefaultPollInterval. Prefer WaitJobWith's backoff for long audits.
+func (c *Client) WaitJob(ctx context.Context, id string, poll time.Duration) (*api.Job, error) {
+	if poll <= 0 {
+		poll = DefaultPollInterval
+	}
+	return c.WaitJobWith(ctx, id, WaitOptions{
+		Initial: poll, Max: poll, Jitter: -1,
+	})
 }
 
 // ---- record resources ----

@@ -1,0 +1,141 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/api"
+)
+
+// stubJobServer serves GET /v2/jobs/{id} from a scripted sequence of job
+// resources, recording the arrival time of every poll.
+type stubJobServer struct {
+	script []api.Job
+	polls  atomic.Int64
+	times  chan time.Time
+}
+
+func (s *stubJobServer) handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := int(s.polls.Add(1)) - 1
+		s.times <- time.Now()
+		if n >= len(s.script) {
+			n = len(s.script) - 1
+		}
+		json.NewEncoder(w).Encode(s.script[n]) //nolint:errcheck
+	})
+}
+
+// TestWaitJobWithBackoffAndNotify drives WaitJobWith against a scripted
+// job: every poll reaches Notify in order (progress visibly advancing),
+// polling stops at the terminal state, and the inter-poll delays grow —
+// the capped exponential backoff that keeps long audits from hammering
+// the server.
+func TestWaitJobWithBackoffAndNotify(t *testing.T) {
+	running := func(progress int64) api.Job {
+		return api.Job{ID: "job-x", State: api.JobRunning, Progress: progress}
+	}
+	stub := &stubJobServer{
+		script: []api.Job{
+			running(100), running(200), running(300), running(400),
+			{ID: "job-x", State: api.JobDone, Progress: 500},
+		},
+		times: make(chan time.Time, 16),
+	}
+	ts := httptest.NewServer(stub.handler())
+	defer ts.Close()
+
+	var seen []int64
+	job, err := New(ts.URL).WaitJobWith(context.Background(), "job-x", WaitOptions{
+		Initial:    5 * time.Millisecond,
+		Max:        40 * time.Millisecond,
+		Multiplier: 2,
+		Jitter:     -1,
+		Notify:     func(j *api.Job) { seen = append(seen, j.Progress) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.State != api.JobDone || job.Progress != 500 {
+		t.Fatalf("final job: %+v", job)
+	}
+	if got := stub.polls.Load(); got != 5 {
+		t.Fatalf("polled %d times, want 5 (stop at terminal state)", got)
+	}
+	want := []int64{100, 200, 300, 400, 500}
+	if len(seen) != len(want) {
+		t.Fatalf("notify saw %v, want %v", seen, want)
+	}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("notify saw %v, want %v", seen, want)
+		}
+	}
+
+	// Delays between polls must grow: compare the first gap to the last.
+	close(stub.times)
+	var stamps []time.Time
+	for ts := range stub.times {
+		stamps = append(stamps, ts)
+	}
+	first := stamps[1].Sub(stamps[0])
+	last := stamps[len(stamps)-1].Sub(stamps[len(stamps)-2])
+	if last < 2*first {
+		t.Fatalf("backoff did not grow: first gap %v, last gap %v", first, last)
+	}
+}
+
+// TestWaitJobWithJitterStaysBelowDelay bounds the jittered sleep: with
+// full-range timing slack, each gap must stay under the configured cap
+// plus scheduling noise.
+func TestWaitJobWithJitterStaysBelowDelay(t *testing.T) {
+	stub := &stubJobServer{
+		script: []api.Job{
+			{ID: "j", State: api.JobRunning},
+			{ID: "j", State: api.JobRunning},
+			{ID: "j", State: api.JobDone},
+		},
+		times: make(chan time.Time, 16),
+	}
+	ts := httptest.NewServer(stub.handler())
+	defer ts.Close()
+
+	start := time.Now()
+	if _, err := New(ts.URL).WaitJobWith(context.Background(), "j", WaitOptions{
+		Initial:    10 * time.Millisecond,
+		Max:        10 * time.Millisecond,
+		Multiplier: 2,
+		Jitter:     0.5,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Two sleeps of at most 10ms each; generous envelope for CI noise.
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("jittered wait took %v — jitter should only shrink delays", elapsed)
+	}
+}
+
+// TestWaitJobCancelledContext confirms the polling loop honors ctx while
+// sleeping.
+func TestWaitJobCancelledContext(t *testing.T) {
+	stub := &stubJobServer{
+		script: []api.Job{{ID: "j", State: api.JobRunning}},
+		times:  make(chan time.Time, 64),
+	}
+	ts := httptest.NewServer(stub.handler())
+	defer ts.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	_, err := New(ts.URL).WaitJobWith(ctx, "j", WaitOptions{
+		Initial: time.Hour, Max: time.Hour,
+	})
+	if err == nil || ctx.Err() == nil {
+		t.Fatalf("want ctx error, got %v", err)
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 
+	"repro/internal/keyhash"
 	"repro/internal/mark"
 	"repro/internal/pipeline"
 	"repro/internal/relation"
@@ -17,6 +18,22 @@ type BatchOptions struct {
 	// calls — the point of registering a catalog once and auditing many
 	// suspect datasets against it.
 	Cache *ScannerCache
+	// HashKernel selects the batched keyed-hash backend every
+	// certificate's scanner runs on (see Spec.HashKernel). Verdicts are
+	// identical across backends.
+	HashKernel keyhash.KernelKind
+	// BlockSize is the scan-block size (pipeline.Config.BlockRows): the
+	// batch engine extracts each block's key column once and keeps its
+	// digests cache-resident while every certificate sweeps it. 0 means
+	// mark.DefaultBlockRows; negative selects the tuple-at-a-time legacy
+	// engine (the benchmark baseline). Tallies are bit-identical at
+	// every setting.
+	BlockSize int
+	// Progress, when non-nil, receives the tuple count of each scanned
+	// block — once per suspect tuple per pass, regardless of how many
+	// certificates ride it. Called concurrently from worker goroutines;
+	// async jobs point it at their atomic tuples-processed counter.
+	Progress func(tuples int)
 }
 
 // BatchReport is one certificate's outcome from VerifyBatch.
@@ -55,7 +72,7 @@ func VerifyBatch(ctx context.Context, records []*Record, src relation.RowReader,
 	var scanners []*mark.Scanner
 	var live []int // scanner position -> records index
 	for i, rec := range records {
-		p, err := prepared(rec, opts.Cache)
+		p, err := prepared(rec, opts.Cache, opts.HashKernel)
 		if err != nil {
 			out[i].Err = err
 			continue
@@ -70,7 +87,11 @@ func VerifyBatch(ctx context.Context, records []*Record, src relation.RowReader,
 		live = append(live, i)
 	}
 
-	outs, err := pipeline.DetectMany(ctx, src, scanners, pipeline.Config{Workers: workerCount(opts.Workers)})
+	outs, err := pipeline.DetectMany(ctx, src, scanners, pipeline.Config{
+		Workers:   workerCount(opts.Workers),
+		BlockRows: opts.BlockSize,
+		Progress:  opts.Progress,
+	})
 	if err != nil {
 		return nil, err
 	}

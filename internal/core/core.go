@@ -70,6 +70,21 @@ type Spec struct {
 	// (MaxAlterationFraction > 0) is order-dependent and always runs
 	// sequentially.
 	Workers int
+	// HashKernel selects the batched keyed-hash backend of the
+	// block-at-a-time engine (keyhash.KernelAuto, KernelPortable or
+	// KernelMultiBuffer). The zero value picks the fastest backend this
+	// CPU supports; the choice never changes a digest, a certificate or
+	// a verdict — only throughput.
+	HashKernel keyhash.KernelKind
+	// BlockSize is the number of tuples per scan block fed through the
+	// hash kernel (pipeline.Config.BlockRows). 0 means
+	// mark.DefaultBlockRows; results are bit-identical at every size.
+	BlockSize int
+	// Progress, when non-nil, observes the embedding pass: it receives
+	// the tuple count of each completed block, concurrently from worker
+	// goroutines. Async jobs aggregate it into their tuples-processed
+	// counter.
+	Progress func(tuples int)
 }
 
 // workerCount normalizes a Spec.Workers-style knob: 0 → sequential,
@@ -162,15 +177,20 @@ func WatermarkContext(ctx context.Context, r *relation.Relation, s Spec) (*Recor
 	}
 	k1, k2 := s.keys()
 	opts := mark.Options{
-		KeyAttr:  s.KeyAttr,
-		Attr:     s.Attribute,
-		K1:       k1,
-		K2:       k2,
-		E:        e,
-		Domain:   dom,
-		Assessor: assessor,
+		KeyAttr:    s.KeyAttr,
+		Attr:       s.Attribute,
+		K1:         k1,
+		K2:         k2,
+		E:          e,
+		Domain:     dom,
+		Assessor:   assessor,
+		HashKernel: s.HashKernel,
 	}
-	mst, err := pipeline.Embed(ctx, r, wm, opts, pipeline.Config{Workers: workerCount(s.Workers)})
+	mst, err := pipeline.Embed(ctx, r, wm, opts, pipeline.Config{
+		Workers:   workerCount(s.Workers),
+		BlockRows: s.BlockSize,
+		Progress:  s.Progress,
+	})
 	if err != nil {
 		return nil, st, err
 	}
@@ -239,7 +259,7 @@ type Report struct {
 // retries. The frequency channel, when present, is scored as a secondary
 // witness. The suspect relation is never modified.
 func (rec *Record) Verify(suspect *relation.Relation) (Report, error) {
-	return rec.verify(context.Background(), suspect, 1, nil)
+	return rec.verify(context.Background(), suspect, VerifyOptions{})
 }
 
 // VerifyParallel is Verify with the detection scans chunked across a
@@ -248,7 +268,7 @@ func (rec *Record) Verify(suspect *relation.Relation) (Report, error) {
 // negative means runtime.NumCPU(). The recovered bit string is
 // bit-identical to Verify's.
 func (rec *Record) VerifyParallel(suspect *relation.Relation, workers int) (Report, error) {
-	return rec.verify(context.Background(), suspect, workerCount(workers), nil)
+	return rec.verify(context.Background(), suspect, VerifyOptions{Workers: workers})
 }
 
 // VerifyOptions parameterises VerifyWith.
@@ -259,31 +279,36 @@ type VerifyOptions struct {
 	// Cache, when non-nil, reuses prepared certificate state across
 	// verifies of the same record (see ScannerCache).
 	Cache *ScannerCache
+	// HashKernel selects the batched keyed-hash backend (see
+	// Spec.HashKernel); verdicts are identical across backends.
+	HashKernel keyhash.KernelKind
+	// BlockSize is the scan-block size (see Spec.BlockSize).
+	BlockSize int
 }
 
 // VerifyWith is Verify with an explicit worker count and an optional
 // prepared-scanner cache; results are identical to Verify's.
 func (rec *Record) VerifyWith(suspect *relation.Relation, o VerifyOptions) (Report, error) {
-	return rec.verify(context.Background(), suspect, workerCount(o.Workers), o.Cache)
+	return rec.verify(context.Background(), suspect, o)
 }
 
 // VerifyContext is VerifyWith under a caller-controlled context: a
 // cancelled ctx stops the detection scan between chunks and returns
 // ctx.Err(). The suspect relation is never modified either way.
 func (rec *Record) VerifyContext(ctx context.Context, suspect *relation.Relation, o VerifyOptions) (Report, error) {
-	return rec.verify(ctx, suspect, workerCount(o.Workers), o.Cache)
+	return rec.verify(ctx, suspect, o)
 }
 
-func (rec *Record) verify(ctx context.Context, suspect *relation.Relation, workers int, cache *ScannerCache) (Report, error) {
+func (rec *Record) verify(ctx context.Context, suspect *relation.Relation, o VerifyOptions) (Report, error) {
 	var rep Report
 	rep.FrequencyMatch = -1
-	p, err := prepared(rec, cache)
+	p, err := prepared(rec, o.Cache, o.HashKernel)
 	if err != nil {
 		return rep, err
 	}
 	want := p.want
 
-	cfg := pipeline.Config{Workers: workers}
+	cfg := pipeline.Config{Workers: workerCount(o.Workers), BlockRows: o.BlockSize}
 	working := suspect
 	det, err := pipeline.Detect(ctx, working, len(want), p.opts, cfg)
 	if err != nil {

@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"repro/internal/ecc"
+	"repro/internal/keyhash"
 	"repro/internal/mark"
 	"repro/internal/relation"
 )
@@ -25,7 +26,7 @@ type preparedRecord struct {
 	opts mark.Options
 }
 
-func prepareRecord(rec *Record) (*preparedRecord, error) {
+func prepareRecord(rec *Record, kernel keyhash.KernelKind) (*preparedRecord, error) {
 	want, err := ecc.ParseBits(rec.WM)
 	if err != nil {
 		return nil, fmt.Errorf("core: corrupt record: %w", err)
@@ -46,6 +47,7 @@ func prepareRecord(rec *Record) (*preparedRecord, error) {
 			E:                 rec.E,
 			Domain:            dom,
 			BandwidthOverride: rec.Bandwidth,
+			HashKernel:        kernel,
 		},
 	}, nil
 }
@@ -128,11 +130,14 @@ func NewScannerCache(maxEntries int) *ScannerCache {
 	}
 }
 
-// prepared returns the cached state for rec, deriving and inserting it on
-// miss. Derivation happens outside the lock; when two goroutines race on
-// the same certificate the first insert wins and both share its state.
-func (c *ScannerCache) prepared(rec *Record) (*preparedRecord, error) {
-	key := rec.fingerprint()
+// prepared returns the cached state for rec under the given hash-kernel
+// kind, deriving and inserting it on miss. The kind is part of the cache
+// key — prepared state carries the kernel choice into every scanner it
+// spawns, so entries for different backends must not alias. Derivation
+// happens outside the lock; when two goroutines race on the same
+// certificate the first insert wins and both share its state.
+func (c *ScannerCache) prepared(rec *Record, kernel keyhash.KernelKind) (*preparedRecord, error) {
+	key := rec.fingerprint() + "|" + string(kernel)
 	c.mu.Lock()
 	if el, ok := c.entries[key]; ok {
 		c.lru.MoveToFront(el)
@@ -144,7 +149,7 @@ func (c *ScannerCache) prepared(rec *Record) (*preparedRecord, error) {
 	c.misses++
 	c.mu.Unlock()
 
-	p, err := prepareRecord(rec)
+	p, err := prepareRecord(rec, kernel)
 	if err != nil {
 		return nil, err
 	}
@@ -179,9 +184,9 @@ func (c *ScannerCache) Stats() CacheStats {
 
 // prepared resolves a record's verification state through an optional
 // cache; a nil cache derives it fresh.
-func prepared(rec *Record, cache *ScannerCache) (*preparedRecord, error) {
+func prepared(rec *Record, cache *ScannerCache, kernel keyhash.KernelKind) (*preparedRecord, error) {
 	if cache == nil {
-		return prepareRecord(rec)
+		return prepareRecord(rec, kernel)
 	}
-	return cache.prepared(rec)
+	return cache.prepared(rec, kernel)
 }

@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -49,8 +50,30 @@ func (s State) Terminal() bool {
 
 // Func is the work a job performs. It must honor ctx: returning promptly
 // once ctx is cancelled is what makes Cancel and shutdown effective. The
-// returned value is the job's result on success.
-type Func func(ctx context.Context) (any, error)
+// returned value is the job's result on success. p is the job's live
+// progress counter; work that can meter itself (a block-at-a-time scan
+// reporting tuples per block) calls p.Add so pollers of GET /v2/jobs/{id}
+// see the job advance.
+type Func func(ctx context.Context, p *Progress) (any, error)
+
+// Progress is a job's monotone work counter — for scan jobs, suspect
+// tuples processed so far. It is updated from scan workers and read by
+// concurrent snapshot requests, so it is atomic; the zero value is
+// ready to use.
+type Progress struct {
+	tuples atomic.Int64
+}
+
+// Add records n more units of completed work. Safe for concurrent use —
+// pipeline workers call it once per scanned block.
+func (p *Progress) Add(n int) {
+	p.tuples.Add(int64(n))
+}
+
+// Tuples reports the work counted so far.
+func (p *Progress) Tuples() int64 {
+	return p.tuples.Load()
+}
 
 // Snapshot is a point-in-time copy of a job's state, safe to hold after
 // the job has moved on.
@@ -69,6 +92,9 @@ type Snapshot struct {
 	Err error
 	// Result is the Func's return value once State is done.
 	Result any
+	// Progress is the work counted so far (tuples processed, for scan
+	// jobs) — live while the job runs, final afterwards.
+	Progress int64
 }
 
 // Errors returned by the manager surface.
@@ -121,6 +147,7 @@ type job struct {
 	finished time.Time
 	err      error
 	result   any
+	progress Progress           // updated lock-free by the running Func
 	cancel   context.CancelFunc // cancels this job's context
 }
 
@@ -247,7 +274,7 @@ func (m *Manager) run(j *job) {
 	fn := j.fn
 	m.mu.Unlock()
 
-	result, err := fn(ctx)
+	result, err := fn(ctx, &j.progress)
 
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -416,7 +443,9 @@ func (m *Manager) snapshotOf(j *job) Snapshot {
 	return snapshotLocked(j)
 }
 
-// snapshotLocked copies a job's state; callers hold m.mu.
+// snapshotLocked copies a job's state; callers hold m.mu. The progress
+// counter is read atomically — a running Func updates it without the
+// manager lock.
 func snapshotLocked(j *job) Snapshot {
 	return Snapshot{
 		ID:       j.id,
@@ -428,5 +457,6 @@ func snapshotLocked(j *job) Snapshot {
 		Finished: j.finished,
 		Err:      j.err,
 		Result:   j.result,
+		Progress: j.progress.Tuples(),
 	}
 }

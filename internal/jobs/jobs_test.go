@@ -32,7 +32,7 @@ func TestSubmitRunsToDone(t *testing.T) {
 	m := NewManager(Config{Workers: 2})
 	defer m.Close()
 
-	snap, err := m.Submit("test", func(ctx context.Context) (any, error) {
+	snap, err := m.Submit("test", func(ctx context.Context, _ *Progress) (any, error) {
 		return 42, nil
 	})
 	if err != nil {
@@ -55,7 +55,7 @@ func TestFailedJobKeepsError(t *testing.T) {
 	defer m.Close()
 
 	boom := errors.New("boom")
-	snap, err := m.Submit("test", func(ctx context.Context) (any, error) {
+	snap, err := m.Submit("test", func(ctx context.Context, _ *Progress) (any, error) {
 		return nil, boom
 	})
 	if err != nil {
@@ -74,7 +74,7 @@ func TestCancelQueuedNeverRuns(t *testing.T) {
 	defer m.Close()
 
 	release := make(chan struct{})
-	blocker, err := m.Submit("blocker", func(ctx context.Context) (any, error) {
+	blocker, err := m.Submit("blocker", func(ctx context.Context, _ *Progress) (any, error) {
 		select {
 		case <-release:
 		case <-ctx.Done():
@@ -86,7 +86,7 @@ func TestCancelQueuedNeverRuns(t *testing.T) {
 	}
 
 	ran := make(chan struct{}, 1)
-	queued, err := m.Submit("queued", func(ctx context.Context) (any, error) {
+	queued, err := m.Submit("queued", func(ctx context.Context, _ *Progress) (any, error) {
 		ran <- struct{}{}
 		return nil, nil
 	})
@@ -121,7 +121,7 @@ func TestCancelRunningStopsViaContext(t *testing.T) {
 	defer m.Close()
 
 	started := make(chan struct{})
-	snap, err := m.Submit("running", func(ctx context.Context) (any, error) {
+	snap, err := m.Submit("running", func(ctx context.Context, _ *Progress) (any, error) {
 		close(started)
 		<-ctx.Done()
 		return nil, ctx.Err()
@@ -145,7 +145,7 @@ func TestQueueFullBackpressure(t *testing.T) {
 
 	release := make(chan struct{})
 	defer close(release)
-	block := func(ctx context.Context) (any, error) {
+	block := func(ctx context.Context, _ *Progress) (any, error) {
 		select {
 		case <-release:
 		case <-ctx.Done():
@@ -185,7 +185,7 @@ func TestListNewestFirst(t *testing.T) {
 
 	var ids []string
 	for i := 0; i < 5; i++ {
-		snap, err := m.Submit(fmt.Sprintf("k%d", i), func(ctx context.Context) (any, error) {
+		snap, err := m.Submit(fmt.Sprintf("k%d", i), func(ctx context.Context, _ *Progress) (any, error) {
 			return nil, nil
 		})
 		if err != nil {
@@ -216,7 +216,7 @@ func TestRetentionEvictsOldestFinished(t *testing.T) {
 
 	var ids []string
 	for i := 0; i < 6; i++ {
-		snap, err := m.Submit("r", func(ctx context.Context) (any, error) { return nil, nil })
+		snap, err := m.Submit("r", func(ctx context.Context, _ *Progress) (any, error) { return nil, nil })
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -241,7 +241,7 @@ func TestCloseCancelsRunning(t *testing.T) {
 
 	started := make(chan struct{})
 	observed := make(chan error, 1)
-	snap, err := m.Submit("shutdown", func(ctx context.Context) (any, error) {
+	snap, err := m.Submit("shutdown", func(ctx context.Context, _ *Progress) (any, error) {
 		close(started)
 		<-ctx.Done()
 		observed <- ctx.Err()
@@ -262,7 +262,7 @@ func TestCloseCancelsRunning(t *testing.T) {
 	if final.State != StateCancelled {
 		t.Fatalf("after Close: %+v", final)
 	}
-	if _, err := m.Submit("late", func(ctx context.Context) (any, error) { return nil, nil }); !errors.Is(err, ErrClosed) {
+	if _, err := m.Submit("late", func(ctx context.Context, _ *Progress) (any, error) { return nil, nil }); !errors.Is(err, ErrClosed) {
 		t.Fatalf("submit after Close: %v, want ErrClosed", err)
 	}
 }
@@ -279,7 +279,7 @@ func TestConcurrentSubmitGetCancel(t *testing.T) {
 		go func(g int) {
 			defer wg.Done()
 			for i := 0; i < 25; i++ {
-				snap, err := m.Submit("stress", func(ctx context.Context) (any, error) {
+				snap, err := m.Submit("stress", func(ctx context.Context, _ *Progress) (any, error) {
 					select {
 					case <-time.After(time.Duration(i%3) * time.Millisecond):
 					case <-ctx.Done():
@@ -308,5 +308,42 @@ func TestConcurrentSubmitGetCancel(t *testing.T) {
 	wg.Wait()
 	for _, s := range m.List() {
 		_ = s
+	}
+}
+
+// TestProgressVisibleWhileRunning proves a running job's progress is
+// observable through Get before the job finishes, and final afterwards.
+func TestProgressVisibleWhileRunning(t *testing.T) {
+	m := NewManager(Config{Workers: 1})
+	defer m.Close()
+
+	reported := make(chan struct{})
+	release := make(chan struct{})
+	snap, err := m.Submit("progress", func(ctx context.Context, p *Progress) (any, error) {
+		p.Add(512)
+		p.Add(512)
+		close(reported)
+		select {
+		case <-release:
+		case <-ctx.Done():
+		}
+		p.Add(256)
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-reported
+	mid, err := m.Get(snap.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mid.Progress != 1024 {
+		t.Fatalf("mid-run progress = %d, want 1024", mid.Progress)
+	}
+	close(release)
+	final := waitState(t, m, snap.ID)
+	if final.Progress != 1280 {
+		t.Fatalf("final progress = %d, want 1280", final.Progress)
 	}
 }

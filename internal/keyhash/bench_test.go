@@ -2,6 +2,7 @@ package keyhash
 
 import (
 	"strconv"
+	"strings"
 	"testing"
 )
 
@@ -11,6 +12,74 @@ func BenchmarkHashString(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		_ = HashString(k, "500123")
 	}
+}
+
+// BenchmarkHasher tracks the prepared-context fast path per tier: the
+// short one-shot buffer (typical key-attribute values), the wide
+// one-shot buffer, and the streaming fallback.
+func BenchmarkHasher(b *testing.B) {
+	k := NewKey("bench")
+	h, err := k.NewHasher()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name  string
+		value string
+	}{
+		{"short-6B", "500123"},
+		{"oneshot-40B", strings.Repeat("v", 40)},
+		{"stream-200B", strings.Repeat("v", 200)},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = h.HashString(tc.value)
+			}
+		})
+	}
+}
+
+// BenchmarkKernelHashMany compares the batched kernels against the
+// tuple-at-a-time Hasher loop over one block of realistic key values —
+// the per-certificate unit of work of every batch audit.
+func BenchmarkKernelHashMany(b *testing.B) {
+	k := NewKey("bench")
+	values := make([]string, 1024)
+	for i := range values {
+		values[i] = strconv.Itoa(500000 + i)
+	}
+	out := make([]Digest, len(values))
+
+	h, err := k.NewHasher()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("hasher-loop", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for j, v := range values {
+				out[j] = h.HashString(v)
+			}
+		}
+		reportHashRate(b, len(values))
+	})
+	for _, kind := range []KernelKind{KernelPortable, KernelMultiBuffer} {
+		kern, err := k.NewKernel(kind)
+		if err != nil {
+			b.Logf("kernel %q unavailable: %v", kind, err)
+			continue
+		}
+		b.Run(string(kind), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				kern.HashMany(values, out)
+			}
+			reportHashRate(b, len(values))
+		})
+	}
+}
+
+func reportHashRate(b *testing.B, n int) {
+	b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mhash/s")
 }
 
 func BenchmarkFitKey(b *testing.B) {

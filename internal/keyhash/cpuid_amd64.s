@@ -1,0 +1,16 @@
+// func cpuid(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+//
+// Raw CPUID, used once at init to decide whether the SHA-NI multi-buffer
+// kernel may be selected.
+
+#include "textflag.h"
+
+TEXT ·cpuid(SB), NOSPLIT, $0-24
+	MOVL leaf+0(FP), AX
+	MOVL sub+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET

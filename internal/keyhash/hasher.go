@@ -12,6 +12,9 @@ import (
 // digests are bit-identical to Hash/HashString — the hot detection and
 // embedding loops evaluate one keyed hash per tuple per certificate, so
 // this is the per-tuple unit of work batch verification multiplies.
+// (The block engine batches that unit further: see Kernel, whose
+// implementations reuse one scratch buffer per block instead of
+// zero-initialising a fresh one per call.)
 //
 // A Hasher is immutable after construction and safe for concurrent use.
 type Hasher struct {
@@ -30,35 +33,51 @@ func (k Key) NewHasher() (*Hasher, error) {
 	return &Hasher{key: k, prefix: prefix}, nil
 }
 
-// oneShotMax bounds the stack-buffer fast path: prefix + value + key must
-// fit. NewKey-derived keys are 32 bytes, so any value up to 56 bytes —
-// beyond realistic key-attribute values — stays on the fast path; longer
-// inputs fall back to the streaming construct. The buffer is deliberately
-// small: the compiler zero-initialises it on every call.
-const oneShotMax = 128
+// The one-shot fast path is tiered so the compiler zero-initialises only
+// as much stack as the input needs: a NewKey-derived 32-byte key leaves
+// oneShotShort enough room for values up to 24 bytes — the realistic
+// key-attribute range — and oneShotMax for values up to 56. Longer
+// inputs fall back to the streaming construct. (BenchmarkHasher tracks
+// the tier deltas; the batched kernels sidestep the per-call zero-init
+// entirely by reusing one scratch buffer per block.)
+const (
+	oneShotShort = 96
+	oneShotMax   = 128
+)
+
+// oneShot assembles len(k) ‖ k ‖ v ‖ k into buf and hashes it. buf must
+// hold len(prefix) + len(v) + len(key) bytes.
+func oneShot[V ~string | ~[]byte](h *Hasher, buf []byte, v V) Digest {
+	n := copy(buf, h.prefix)
+	n += copy(buf[n:], v)
+	n += copy(buf[n:], h.key)
+	return Digest(sha256.Sum256(buf[:n]))
+}
 
 // Hash computes H(v;k), identically to Hash(k, v).
 func (h *Hasher) Hash(v []byte) Digest {
-	total := len(h.prefix) + len(v) + len(h.key)
-	if total <= oneShotMax {
+	switch total := len(h.prefix) + len(v) + len(h.key); {
+	case total <= oneShotShort:
+		var buf [oneShotShort]byte
+		return oneShot(h, buf[:], v)
+	case total <= oneShotMax:
 		var buf [oneShotMax]byte
-		n := copy(buf[:], h.prefix)
-		n += copy(buf[n:], v)
-		n += copy(buf[n:], h.key)
-		return Digest(sha256.Sum256(buf[:n]))
+		return oneShot(h, buf[:], v)
+	default:
+		return Hash(h.key, v)
 	}
-	return Hash(h.key, v)
 }
 
 // HashString is Hash over the UTF-8 bytes of v.
 func (h *Hasher) HashString(v string) Digest {
-	total := len(h.prefix) + len(v) + len(h.key)
-	if total <= oneShotMax {
+	switch total := len(h.prefix) + len(v) + len(h.key); {
+	case total <= oneShotShort:
+		var buf [oneShotShort]byte
+		return oneShot(h, buf[:], v)
+	case total <= oneShotMax:
 		var buf [oneShotMax]byte
-		n := copy(buf[:], h.prefix)
-		n += copy(buf[n:], v)
-		n += copy(buf[n:], h.key)
-		return Digest(sha256.Sum256(buf[:n]))
+		return oneShot(h, buf[:], v)
+	default:
+		return HashString(h.key, v)
 	}
-	return Hash(h.key, []byte(v))
 }

@@ -43,14 +43,3 @@ func TestNewHasherRejectsEmptyKey(t *testing.T) {
 		t.Fatal("NewHasher accepted an empty key")
 	}
 }
-
-func BenchmarkHasher(b *testing.B) {
-	h, err := NewKey("bench").NewHasher()
-	if err != nil {
-		b.Fatal(err)
-	}
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		_ = h.HashString("1234567")
-	}
-}

@@ -1,0 +1,166 @@
+package keyhash
+
+import (
+	"crypto/sha256"
+	"fmt"
+)
+
+// Kernel is a batched evaluation context for H(·;k): the pluggable bottom
+// of the block-at-a-time scan engine. One HashMany call hashes a whole
+// block of key values, which lets an implementation amortize per-call
+// overhead (scratch reuse, padding assembly) or run several one-shot
+// SHA-256 states at once (the amd64 multi-buffer backend). Digests are
+// bit-identical to Hash/HashString — a Kernel is an execution strategy,
+// never a different hash.
+//
+// Implementations must be immutable after construction and safe for
+// concurrent use: the detection fan-out shares one prepared Scanner (and
+// therefore one Kernel) across all worker goroutines. Per-call scratch
+// lives on the stack or in caller-owned state (see BlockMemo).
+type Kernel interface {
+	// HashMany computes H(values[i];k) into out[i] for every value.
+	// len(out) must be at least len(values).
+	HashMany(values []string, out []Digest)
+}
+
+// KernelKind names a batched hash backend.
+type KernelKind string
+
+const (
+	// KernelAuto picks the fastest backend available on this CPU:
+	// the multi-buffer kernel where supported, else the portable one.
+	KernelAuto KernelKind = ""
+	// KernelPortable is the pure-Go batched kernel: one-shot SHA-256 per
+	// value over a reused stack scratch buffer. Available everywhere.
+	KernelPortable KernelKind = "portable"
+	// KernelMultiBuffer interleaves two one-shot SHA-256 message streams
+	// through the CPU's SHA extensions in one assembly loop, hiding the
+	// SHA256RNDS2 dependency-chain latency that leaves a single-stream
+	// implementation underutilizing the execution ports. amd64 with
+	// SHA-NI only; NewKernel reports an error elsewhere.
+	KernelMultiBuffer KernelKind = "multibuffer"
+)
+
+// KernelKinds lists the kinds accepted by NewKernel, KernelAuto first.
+func KernelKinds() []KernelKind {
+	return []KernelKind{KernelAuto, KernelPortable, KernelMultiBuffer}
+}
+
+// NewKernel validates the key and builds the requested hash backend.
+// KernelAuto never fails on a valid key; KernelMultiBuffer fails where
+// the CPU (or architecture) lacks the SHA extensions it needs.
+func (k Key) NewKernel(kind KernelKind) (Kernel, error) {
+	if err := k.Validate(); err != nil {
+		return nil, err
+	}
+	switch kind {
+	case KernelAuto:
+		if mk := newMultiKernel(k); mk != nil {
+			return mk, nil
+		}
+		return newPortableKernel(k), nil
+	case KernelPortable:
+		return newPortableKernel(k), nil
+	case KernelMultiBuffer:
+		mk := newMultiKernel(k)
+		if mk == nil {
+			return nil, fmt.Errorf("keyhash: kernel %q unavailable on this CPU", kind)
+		}
+		return mk, nil
+	default:
+		return nil, fmt.Errorf("keyhash: unknown hash kernel %q (want %q, %q or %q)",
+			kind, KernelAuto, KernelPortable, KernelMultiBuffer)
+	}
+}
+
+// portableKernel is the pure-Go batched backend. The construct's message
+// layout (len(k) ‖ k ‖ v ‖ k) is assembled into one stack scratch buffer
+// that lives for the whole HashMany call, so the per-call zero-init and
+// prefix copy of Hasher.HashString are paid once per block instead of
+// once per value.
+type portableKernel struct {
+	h *Hasher
+}
+
+func newPortableKernel(k Key) *portableKernel {
+	h, err := k.NewHasher()
+	if err != nil {
+		// NewKernel validated the key already.
+		panic(fmt.Sprintf("keyhash: portable kernel: %v", err))
+	}
+	return &portableKernel{h: h}
+}
+
+// HashMany hashes every value with a single scratch buffer. Values too
+// long for the one-shot buffer fall back to the streaming construct,
+// exactly like Hasher.HashString.
+func (p *portableKernel) HashMany(values []string, out []Digest) {
+	_ = out[:len(values)] // one bounds check up front
+	var buf [oneShotMax]byte
+	prefixLen := copy(buf[:], p.h.prefix)
+	for i, v := range values {
+		total := prefixLen + len(v) + len(p.h.key)
+		if total > oneShotMax {
+			out[i] = HashString(p.h.key, v)
+			continue
+		}
+		n := prefixLen
+		n += copy(buf[n:], v)
+		n += copy(buf[n:], p.h.key)
+		out[i] = Digest(sha256.Sum256(buf[:n]))
+	}
+}
+
+// laneKey identifies one memo lane: a secret key evaluated over one key
+// column. Two scanners that derive the same k1 (certificates of the same
+// owner secret) and resolve the same key column share a lane.
+type laneKey struct {
+	col int
+	key string
+}
+
+// BlockMemo caches HashMany results per lane for ONE block of key
+// values, so N certificates sharing a key column hash each distinct key
+// value once per lane, not once per certificate. The caller owns the
+// block identity: Reset invalidates every lane when the block changes.
+//
+// A BlockMemo is mutable scratch — per worker, never shared across
+// goroutines.
+type BlockMemo struct {
+	lanes map[laneKey][]Digest
+	free  [][]Digest
+}
+
+// Reset invalidates all lanes (the scratch block moved on); digest
+// slices are recycled into the next block's lanes.
+func (m *BlockMemo) Reset() {
+	for k, d := range m.lanes {
+		m.free = append(m.free, d)
+		delete(m.lanes, k)
+	}
+}
+
+// Lane returns the digests of values under kern, computing them on the
+// first call for this (col, key k) lane and replaying them afterwards.
+// The returned slice is valid until the next Reset.
+func (m *BlockMemo) Lane(col int, k Key, kern Kernel, values []string) []Digest {
+	if m.lanes == nil {
+		m.lanes = make(map[laneKey][]Digest)
+	}
+	lk := laneKey{col: col, key: string(k)}
+	if d, ok := m.lanes[lk]; ok {
+		return d
+	}
+	var d []Digest
+	if n := len(m.free); n > 0 {
+		d = m.free[n-1][:0]
+		m.free = m.free[:n-1]
+	}
+	if cap(d) < len(values) {
+		d = make([]Digest, len(values))
+	}
+	d = d[:len(values)]
+	kern.HashMany(values, d)
+	m.lanes[lk] = d
+	return d
+}

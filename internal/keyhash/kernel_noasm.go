@@ -1,0 +1,8 @@
+//go:build !amd64
+
+package keyhash
+
+// newMultiKernel reports the multi-buffer backend unavailable: the
+// two-lane SHA-NI loop is amd64 assembly. KernelAuto falls back to the
+// portable kernel here.
+func newMultiKernel(Key) Kernel { return nil }

@@ -1,0 +1,203 @@
+package keyhash
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// availableKernels returns every kernel kind constructible on this
+// machine, so the equivalence suite covers the assembly backend exactly
+// where it can run.
+func availableKernels(t testing.TB, k Key) map[KernelKind]Kernel {
+	t.Helper()
+	kernels := map[KernelKind]Kernel{}
+	for _, kind := range KernelKinds() {
+		kern, err := k.NewKernel(kind)
+		if err != nil {
+			if kind == KernelMultiBuffer {
+				t.Logf("kernel %q unavailable here: %v", kind, err)
+				continue
+			}
+			t.Fatalf("NewKernel(%q): %v", kind, err)
+		}
+		kernels[kind] = kern
+	}
+	return kernels
+}
+
+// TestKernelMatchesHash drives every available kernel over value sets
+// covering each execution path — the one-block and two-block assembly
+// lanes, the pairing parity, and the beyond-lane streaming fallback —
+// and requires digests bit-identical to the scalar construct.
+func TestKernelMatchesHash(t *testing.T) {
+	k := NewKey("kernel-equivalence")
+	cases := [][]string{
+		{},
+		{"solo"},
+		{"a", "b"},
+		{"", "", ""},
+		{"500123", "500124", "500125", "500126", "500127"},
+		{strings.Repeat("x", 47), strings.Repeat("y", 48), strings.Repeat("z", 200), "tiny"},
+		{strings.Repeat("long-value-", 30), strings.Repeat("w", 1000)},
+	}
+	// Every value length from 0 through past the two-block lane
+	// boundary, in one batch (odd/even pairings shift as it goes).
+	var sweep []string
+	for n := 0; n <= 140; n++ {
+		sweep = append(sweep, strings.Repeat("v", n))
+	}
+	cases = append(cases, sweep)
+
+	for kind, kern := range availableKernels(t, k) {
+		t.Run(string(kind), func(t *testing.T) {
+			for ci, values := range cases {
+				out := make([]Digest, len(values))
+				kern.HashMany(values, out)
+				for i, v := range values {
+					if want := HashString(k, v); out[i] != want {
+						t.Fatalf("case %d value %d (len %d): kernel %q digest mismatch\n got %x\nwant %x",
+							ci, i, len(v), kind, out[i], want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestKernelMatchesHashRandom is the randomized sweep: arbitrary batch
+// shapes, lengths and contents, odd keys included.
+func TestKernelMatchesHashRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 50; trial++ {
+		keyLen := 1 + rng.Intn(64)
+		keyBytes := make([]byte, keyLen)
+		rng.Read(keyBytes)
+		k := Key(keyBytes)
+		values := make([]string, rng.Intn(40))
+		for i := range values {
+			b := make([]byte, rng.Intn(160))
+			rng.Read(b)
+			values[i] = string(b)
+		}
+		for kind, kern := range availableKernels(t, k) {
+			out := make([]Digest, len(values))
+			kern.HashMany(values, out)
+			for i, v := range values {
+				if want := HashString(k, v); out[i] != want {
+					t.Fatalf("trial %d kernel %q keyLen %d value %d (len %d): digest mismatch",
+						trial, kind, keyLen, i, len(v))
+				}
+			}
+		}
+	}
+}
+
+// FuzzKernelMatchesHash cross-checks every available kernel against the
+// scalar construct on fuzzer-chosen key and value bytes.
+func FuzzKernelMatchesHash(f *testing.F) {
+	f.Add([]byte("seed-key"), "value-a", "value-b", "value-c")
+	f.Add([]byte{1}, "", strings.Repeat("q", 60), strings.Repeat("r", 130))
+	f.Fuzz(func(t *testing.T, keyBytes []byte, v0, v1, v2 string) {
+		if len(keyBytes) == 0 {
+			t.Skip()
+		}
+		k := Key(keyBytes)
+		values := []string{v0, v1, v2, v0}
+		for kind, kern := range availableKernels(t, k) {
+			out := make([]Digest, len(values))
+			kern.HashMany(values, out)
+			for i, v := range values {
+				if want := HashString(k, v); out[i] != want {
+					t.Fatalf("kernel %q value %d: digest mismatch", kind, i)
+				}
+			}
+		}
+	})
+}
+
+func TestNewKernelErrors(t *testing.T) {
+	if _, err := Key(nil).NewKernel(KernelAuto); err == nil {
+		t.Fatal("empty key: want error")
+	}
+	if _, err := NewKey("x").NewKernel(KernelKind("no-such-backend")); err == nil {
+		t.Fatal("unknown kind: want error")
+	}
+}
+
+// TestBlockMemoSharesLanes proves the lane cache: same (column, key)
+// pairs hit the memo, different columns or keys do not, and Reset
+// invalidates.
+func TestBlockMemoSharesLanes(t *testing.T) {
+	kA, kB := NewKey("owner-a"), NewKey("owner-b")
+	kernA := countingKernel{inner: mustKernel(t, kA)}
+	kernB := countingKernel{inner: mustKernel(t, kB)}
+	values := []string{"k1", "k2", "k3"}
+
+	var m BlockMemo
+	first := m.Lane(0, kA, &kernA, values)
+	again := m.Lane(0, kA, &kernA, values)
+	if kernA.calls != 1 {
+		t.Fatalf("same lane twice: %d kernel calls, want 1", kernA.calls)
+	}
+	if &first[0] != &again[0] {
+		t.Fatal("memo hit should return the cached slice")
+	}
+	for i, v := range values {
+		if first[i] != HashString(kA, v) {
+			t.Fatalf("lane digest %d mismatch", i)
+		}
+	}
+
+	m.Lane(1, kA, &kernA, values) // different column: new lane
+	if kernA.calls != 2 {
+		t.Fatalf("distinct column should re-hash: %d calls, want 2", kernA.calls)
+	}
+	m.Lane(0, kB, &kernB, values) // different key: new lane
+	if kernB.calls != 1 {
+		t.Fatalf("distinct key should hash its own lane: %d calls, want 1", kernB.calls)
+	}
+
+	m.Reset()
+	m.Lane(0, kA, &kernA, values)
+	if kernA.calls != 3 {
+		t.Fatalf("Reset should invalidate lanes: %d calls, want 3", kernA.calls)
+	}
+}
+
+func mustKernel(t *testing.T, k Key) Kernel {
+	t.Helper()
+	kern, err := k.NewKernel(KernelAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return kern
+}
+
+// countingKernel counts HashMany invocations for memo assertions.
+type countingKernel struct {
+	inner Kernel
+	calls int
+}
+
+func (c *countingKernel) HashMany(values []string, out []Digest) {
+	c.calls++
+	c.inner.HashMany(values, out)
+}
+
+// TestKernelKindsRoundTrip pins the knob spellings that travel through
+// core.Spec and the CLI flags.
+func TestKernelKindsRoundTrip(t *testing.T) {
+	for _, kind := range KernelKinds() {
+		if kind == KernelMultiBuffer {
+			continue // availability varies by CPU
+		}
+		if _, err := NewKey("k").NewKernel(kind); err != nil {
+			t.Fatalf("kind %q: %v", kind, err)
+		}
+	}
+	if got := fmt.Sprintf("%s/%s", KernelPortable, KernelMultiBuffer); got != "portable/multibuffer" {
+		t.Fatalf("kernel kind spellings changed: %s", got)
+	}
+}

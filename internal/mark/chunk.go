@@ -6,7 +6,6 @@ import (
 
 	"repro/internal/ecc"
 	"repro/internal/keyhash"
-	"repro/internal/quality"
 	"repro/internal/relation"
 )
 
@@ -27,22 +26,22 @@ import (
 // concurrent use by multiple goroutines calling EmbedRange on disjoint
 // row ranges of the same relation.
 type Embedder struct {
-	opts    Options
-	keyCol  int
-	attrCol int
-	dom     *relation.Domain
-	bw      int
-	wmData  ecc.Bits
-	h1, h2  *keyhash.Hasher
+	opts         Options
+	keyCol       int
+	attrCol      int
+	dom          *relation.Domain
+	bw           int
+	wmData       ecc.Bits
+	kern1, kern2 keyhash.Kernel
 }
 
 // newEmbedder assembles the prepared pass once parameters are validated.
 func newEmbedder(opts Options, keyCol, attrCol int, dom *relation.Domain, bw int, wmData ecc.Bits) (*Embedder, error) {
-	h1, err := opts.K1.NewHasher()
+	kern1, err := opts.K1.NewKernel(opts.HashKernel)
 	if err != nil {
 		return nil, fmt.Errorf("mark: k1: %w", err)
 	}
-	h2, err := opts.K2.NewHasher()
+	kern2, err := opts.K2.NewKernel(opts.HashKernel)
 	if err != nil {
 		return nil, fmt.Errorf("mark: k2: %w", err)
 	}
@@ -53,8 +52,8 @@ func newEmbedder(opts Options, keyCol, attrCol int, dom *relation.Domain, bw int
 		dom:     dom,
 		bw:      bw,
 		wmData:  wmData,
-		h1:      h1,
-		h2:      h2,
+		kern1:   kern1,
+		kern2:   kern2,
 	}, nil
 }
 
@@ -124,69 +123,33 @@ type ChunkStats struct {
 	Touched []bool
 }
 
-// EmbedRange embeds rows [lo, hi) of r. It writes only the watermarked
-// attribute of rows inside the range, so concurrent calls on disjoint
-// ranges of the same relation are safe provided (a) Options.Assessor,
-// Options.SkipRow and Options.OnAlter are either nil or themselves
-// concurrency-safe (the quality assessor's shared alteration budget is
-// order-dependent), and (b) the watermarked attribute is NOT the
-// relation's primary key — rewriting key values mutates the shared key
-// index. internal/pipeline falls back to a sequential pass in both
-// cases.
+// EmbedRange embeds rows [lo, hi) of r, walking the range in
+// DefaultBlockRows-sized blocks through EmbedBlock (one scratch for the
+// whole call, so memory stays bounded on arbitrarily large ranges). It
+// writes only the watermarked attribute of rows inside the range, so
+// concurrent calls on disjoint ranges of the same relation are safe
+// provided (a) Options.Assessor, Options.SkipRow and Options.OnAlter
+// are either nil or themselves concurrency-safe (the quality assessor's
+// shared alteration budget is order-dependent), and (b) the watermarked
+// attribute is NOT the relation's primary key — rewriting key values
+// mutates the shared key index. internal/pipeline falls back to a
+// sequential pass in both cases.
 func (e *Embedder) EmbedRange(r *relation.Relation, lo, hi int) (ChunkStats, error) {
 	cs := ChunkStats{Touched: make([]bool, e.bw)}
 	cs.Bandwidth = e.bw
-	if lo < 0 || hi > r.Len() || lo > hi {
-		return cs, fmt.Errorf("mark: row range [%d, %d) out of bounds (N=%d)", lo, hi, r.Len())
+	if err := checkRange(r, lo, hi); err != nil {
+		return cs, err
 	}
-	cs.Tuples = hi - lo
-	opts := &e.opts
-	for j := lo; j < hi; j++ {
-		t := r.Tuple(j)
-		keyVal := t[e.keyCol]
-		d1 := e.h1.HashString(keyVal)
-		if !keyhash.Fit(d1, opts.E) {
-			continue
+	var bs BlockScratch
+	for blockLo := lo; ; blockLo += DefaultBlockRows {
+		blockHi := min(blockLo+DefaultBlockRows, hi)
+		if err := e.EmbedBlock(r, blockLo, blockHi, &cs, &bs); err != nil {
+			return cs, err
 		}
-		cs.Fit++
-		if opts.SkipRow != nil && opts.SkipRow(j) {
-			cs.SkippedLedger++
-			continue
-		}
-		pos := int(e.h2.HashString(keyVal).Mod(uint64(e.bw)))
-		bit := uint64(e.wmData[pos])
-		// Value-index selection: an independent digest word drives the
-		// pseudorandom pair choice so the mod-e fitness constraint on
-		// word 0 cannot bias it (DESIGN.md clarification 1).
-		idx := keyhash.PairIndex(d1.Uint64At(1), e.dom.Size(), bit)
-		newVal := e.dom.Value(idx)
-		old := t[e.attrCol]
-		if old == newVal {
-			cs.Unchanged++
-			cs.Touched[pos] = true
-			continue
-		}
-		if opts.Assessor != nil {
-			if aerr := opts.Assessor.Apply(r, j, opts.Attr, newVal); aerr != nil {
-				var verr *quality.ViolationError
-				if errors.As(aerr, &verr) {
-					cs.SkippedQuality++
-					continue
-				}
-				return cs, aerr
-			}
-		} else {
-			if serr := r.SetValue(j, opts.Attr, newVal); serr != nil {
-				return cs, serr
-			}
-		}
-		cs.Altered++
-		cs.Touched[pos] = true
-		if opts.OnAlter != nil {
-			opts.OnAlter(j)
+		if blockHi == hi {
+			return cs, nil
 		}
 	}
-	return cs, nil
 }
 
 // Add folds another range's result into c (order-independent): counters
@@ -230,13 +193,14 @@ func MergeChunks(chunks ...ChunkStats) EmbedStats {
 // for concurrent use by multiple goroutines scanning disjoint row ranges
 // (or disjoint tallies — see ScanTuple).
 type Scanner struct {
-	opts    Options
-	keyCol  int
-	attrCol int
-	dom     *relation.Domain
-	bw      int
-	wmLen   int
-	h1, h2  *keyhash.Hasher
+	opts         Options
+	keyCol       int
+	attrCol      int
+	dom          *relation.Domain
+	bw           int
+	wmLen        int
+	h1, h2       *keyhash.Hasher
+	kern1, kern2 keyhash.Kernel
 }
 
 // NewScanner validates options against r and prepares a detection pass.
@@ -282,6 +246,14 @@ func newScanner(keyCol, attrCol int, dom *relation.Domain, n, wmLen int, opts Op
 	if err != nil {
 		return nil, fmt.Errorf("mark: k2: %w", err)
 	}
+	kern1, err := opts.K1.NewKernel(opts.HashKernel)
+	if err != nil {
+		return nil, fmt.Errorf("mark: k1: %w", err)
+	}
+	kern2, err := opts.K2.NewKernel(opts.HashKernel)
+	if err != nil {
+		return nil, fmt.Errorf("mark: k2: %w", err)
+	}
 	return &Scanner{
 		opts:    opts,
 		keyCol:  keyCol,
@@ -291,6 +263,8 @@ func newScanner(keyCol, attrCol int, dom *relation.Domain, n, wmLen int, opts Op
 		wmLen:   wmLen,
 		h1:      h1,
 		h2:      h2,
+		kern1:   kern1,
+		kern2:   kern2,
 	}, nil
 }
 
@@ -356,18 +330,26 @@ func (s *Scanner) ScanTuple(tup relation.Tuple, t *Tally) {
 	t.Last[pos] = bit
 }
 
-// Scan reads rows [lo, hi) of r and accumulates their votes into t — the
-// contiguous-range loop over ScanTuple. The relation is never modified.
+// Scan reads rows [lo, hi) of r and accumulates their votes into t,
+// walking the range in DefaultBlockRows-sized blocks through ScanBlock
+// (one scratch for the whole call). The votes are bit-identical to the
+// ScanTuple loop over the same rows; the relation is never modified.
 // Concurrent Scan calls must use distinct tallies; merge them afterwards
 // with Tally.Merge.
 func (s *Scanner) Scan(r *relation.Relation, lo, hi int, t *Tally) error {
-	if lo < 0 || hi > r.Len() || lo > hi {
-		return fmt.Errorf("mark: row range [%d, %d) out of bounds (N=%d)", lo, hi, r.Len())
+	if err := checkRange(r, lo, hi); err != nil {
+		return err
 	}
-	for j := lo; j < hi; j++ {
-		s.ScanTuple(r.Tuple(j), t)
+	var bs BlockScratch
+	for blockLo := lo; ; blockLo += DefaultBlockRows {
+		blockHi := min(blockLo+DefaultBlockRows, hi)
+		if err := s.ScanBlock(r, blockLo, blockHi, t, &bs); err != nil {
+			return err
+		}
+		if blockHi == hi {
+			return nil
+		}
 	}
-	return nil
 }
 
 // Merge folds a tally covering a LATER row range into t. Vote counts are

@@ -8,6 +8,15 @@
 // relation.RowReader streams so datasets never need to be fully
 // materialized.
 //
+// Within a chunk, every path — sequential, worker-pool, streaming,
+// multi-certificate fan-out — feeds fixed-size tuple blocks
+// (Config.BlockRows) through the batched keyed-hash kernels of
+// mark.ScanBlock/EmbedBlock rather than looping tuple-at-a-time, and the
+// multi-certificate engine runs its certificate loop inside the block
+// loop so a block's keys and digests stay cache-resident across all
+// certificates of a batch audit. Config.Progress observes the pass at
+// block granularity — the tuples-scanned counter async jobs report.
+//
 // This is the execution engine behind core.Spec.Workers, wmtool -parallel
 // and the wmserver handlers.
 //
@@ -31,7 +40,7 @@ import (
 	"repro/internal/relation"
 )
 
-// Config sizes the worker pool.
+// Config sizes the worker pool and the scan blocks it feeds the codec.
 type Config struct {
 	// Workers is the number of concurrent workers. 0 or negative means
 	// runtime.NumCPU().
@@ -40,6 +49,21 @@ type Config struct {
 	// that gives each worker several chunks (for tail balancing) without
 	// dropping below MinChunkRows.
 	ChunkRows int
+	// BlockRows is the number of rows per scan block — the unit the
+	// workers feed through the batched keyed-hash kernels
+	// (mark.ScanBlock / mark.EmbedBlock), and the granularity of
+	// Progress ticks. 0 means mark.DefaultBlockRows. A negative value
+	// selects the tuple-at-a-time legacy engine (mark.ScanTuple per row)
+	// on the detection paths — the baseline the block-engine benchmarks
+	// compare against; embedding always runs block-at-a-time.
+	BlockRows int
+	// Progress, when non-nil, is invoked with the number of suspect
+	// tuples each completed scan block covered — the hook async jobs use
+	// to surface tuples-scanned-so-far. It is called concurrently from
+	// worker goroutines and must be safe for that (an atomic counter
+	// add, typically). Multi-certificate passes (ScanMany) tick once per
+	// block, not once per certificate.
+	Progress func(tuples int)
 }
 
 // MinChunkRows is the floor for derived chunk sizes: below this the
@@ -67,6 +91,60 @@ func (c Config) chunkRows(n, workers int) int {
 		per = MinChunkRows
 	}
 	return per
+}
+
+// blockRows resolves the scan-block size for the block engine.
+func (c Config) blockRows() int {
+	if c.BlockRows > 0 {
+		return c.BlockRows
+	}
+	return mark.DefaultBlockRows
+}
+
+// report ticks the progress hook, if any.
+func (c Config) report(tuples int) {
+	if c.Progress != nil && tuples > 0 {
+		c.Progress(tuples)
+	}
+}
+
+// scanRange feeds rows [lo, hi) of r through sc into t block-at-a-time
+// (or tuple-at-a-time when cfg.BlockRows < 0), ticking progress per
+// block. bs is the caller's per-goroutine scratch.
+func scanRange(sc *mark.Scanner, r *relation.Relation, lo, hi int, t *mark.Tally, bs *mark.BlockScratch, cfg Config) error {
+	if cfg.BlockRows < 0 {
+		for j := lo; j < hi; j++ {
+			sc.ScanTuple(r.Tuple(j), t)
+		}
+		cfg.report(hi - lo)
+		return nil
+	}
+	br := cfg.blockRows()
+	for blockLo := lo; blockLo < hi; blockLo += br {
+		blockHi := min(blockLo+br, hi)
+		if err := sc.ScanBlock(r, blockLo, blockHi, t, bs); err != nil {
+			return err
+		}
+		cfg.report(blockHi - blockLo)
+	}
+	return nil
+}
+
+// embedRange feeds rows [lo, hi) of r through em into cs
+// block-at-a-time, ticking progress per block. Runs at least one
+// (possibly empty) block so cs always carries the pass bandwidth.
+func embedRange(em *mark.Embedder, r *relation.Relation, lo, hi int, cs *mark.ChunkStats, bs *mark.BlockScratch, cfg Config) error {
+	br := cfg.blockRows()
+	for blockLo := lo; ; blockLo += br {
+		blockHi := min(blockLo+br, hi)
+		if err := em.EmbedBlock(r, blockLo, blockHi, cs, bs); err != nil {
+			return err
+		}
+		cfg.report(blockHi - blockLo)
+		if blockHi >= hi {
+			return nil
+		}
+	}
 }
 
 // chunkRange is one [Lo, Hi) row range of a partitioned relation.
@@ -164,23 +242,25 @@ func Embed(ctx context.Context, r *relation.Relation, wm ecc.Bits, opts mark.Opt
 	chunks := partition(r.Len(), cfg.chunkRows(r.Len(), workers))
 	if workers == 1 || opts.Assessor != nil || opts.SkipRow != nil || opts.OnAlter != nil ||
 		attrIsPrimaryKey(r, opts.Attr) {
-		// In-order chunk walk: identical to mark.Embed (EmbedRange is its
+		// In-order chunk walk: identical to mark.Embed (EmbedBlock is its
 		// kernel, rows visited in the same order) plus cancellation points.
 		var agg mark.ChunkStats
+		var bs mark.BlockScratch
 		for _, c := range chunks {
 			if err := ctx.Err(); err != nil {
 				return mark.EmbedStats{}, err
 			}
-			cs, err := em.EmbedRange(r, c.Lo, c.Hi)
-			if err != nil {
+			if err := embedRange(em, r, c.Lo, c.Hi, &agg, &bs, cfg); err != nil {
 				return mark.EmbedStats{}, err
 			}
-			agg.Add(cs)
 		}
 		return mark.MergeChunks(agg), nil
 	}
 	parts, err := runChunks(ctx, workers, chunks, func(c chunkRange) (mark.ChunkStats, error) {
-		return em.EmbedRange(r, c.Lo, c.Hi)
+		var cs mark.ChunkStats
+		var bs mark.BlockScratch
+		err := embedRange(em, r, c.Lo, c.Hi, &cs, &bs, cfg)
+		return cs, err
 	})
 	if err != nil {
 		return mark.EmbedStats{}, err
@@ -207,11 +287,12 @@ func Detect(ctx context.Context, r *relation.Relation, wmLen int, opts mark.Opti
 		// In-order chunk walk over one tally: the same row loop as
 		// mark.Detect, split only to interleave cancellation checks.
 		total := sc.NewTally()
+		var bs mark.BlockScratch
 		for _, c := range chunks {
 			if err := ctx.Err(); err != nil {
 				return mark.DetectReport{}, err
 			}
-			if err := sc.Scan(r, c.Lo, c.Hi, total); err != nil {
+			if err := scanRange(sc, r, c.Lo, c.Hi, total, &bs, cfg); err != nil {
 				return mark.DetectReport{}, err
 			}
 		}
@@ -219,7 +300,8 @@ func Detect(ctx context.Context, r *relation.Relation, wmLen int, opts mark.Opti
 	}
 	parts, err := runChunks(ctx, workers, chunks, func(c chunkRange) (*mark.Tally, error) {
 		t := sc.NewTally()
-		if err := sc.Scan(r, c.Lo, c.Hi, t); err != nil {
+		var bs mark.BlockScratch
+		if err := scanRange(sc, r, c.Lo, c.Hi, t, &bs, cfg); err != nil {
 			return nil, err
 		}
 		return t, nil

@@ -184,8 +184,9 @@ func EmbedReader(ctx context.Context, src relation.RowReader, dst relation.RowWr
 	var agg mark.ChunkStats
 	err = runStream(ctx, src, cfg,
 		func(rel *relation.Relation) (*streamEmbedOut, error) {
-			cs, err := em.EmbedRange(rel, 0, rel.Len())
-			if err != nil {
+			var cs mark.ChunkStats
+			var bs mark.BlockScratch
+			if err := embedRange(em, rel, 0, rel.Len(), &cs, &bs, cfg); err != nil {
 				return nil, err
 			}
 			return &streamEmbedOut{rel: rel, cs: cs}, nil
@@ -217,18 +218,23 @@ type streamEmbedOut struct {
 
 // ScanMany is the fan-out detection engine: it drives every prepared
 // scanner over a SINGLE pass of src and returns one merged tally per
-// scanner, in scanner order. Chunks are scanned on the worker pool with
-// each scanner casting its votes tuple-at-a-time (mark.Scanner.ScanTuple),
-// and per-chunk tallies merge in stream order, so every tally — including
-// its LastWriteWins column — is bit-identical to scanning the materialized
-// stream with that scanner alone. The dataset is read, parsed and chunked
-// exactly once no matter how many scanners ride the pass; this is what
-// makes corpus-against-catalog verification (core.VerifyBatch) scale with
-// the number of certificates.
+// scanner, in scanner order. Chunks are scanned on the worker pool
+// block-at-a-time with the certificate loop INSIDE the block loop: each
+// fixed-size block's key column is extracted once, its fitness digests
+// are computed once per distinct lane (certificates sharing an owner
+// secret replay each other's digests through the scratch memo), and the
+// block's keys and digests stay cache-resident while every scanner
+// sweeps it. Per-chunk tallies merge in stream order, so every tally —
+// including its LastWriteWins column — is bit-identical to scanning the
+// materialized stream with that scanner alone. The dataset is read,
+// parsed and chunked exactly once no matter how many scanners ride the
+// pass; this is what makes corpus-against-catalog verification
+// (core.VerifyBatch) scale with the number of certificates.
 //
 // Scanners must have been prepared against src's schema (their key and
 // attribute columns are resolved positions). With zero scanners the stream
-// is not consumed.
+// is not consumed. cfg.Progress ticks once per block, with suspect tuples
+// covered (not multiplied by the number of scanners).
 func ScanMany(ctx context.Context, src relation.RowReader, scanners []*mark.Scanner, cfg Config) ([]*mark.Tally, error) {
 	totals := make([]*mark.Tally, len(scanners))
 	for i, sc := range scanners {
@@ -243,13 +249,27 @@ func ScanMany(ctx context.Context, src relation.RowReader, scanners []*mark.Scan
 			for i, sc := range scanners {
 				parts[i] = sc.NewTally()
 			}
-			// Scanner-major: each scanner sweeps the chunk with its own
-			// hot hasher state rather than all scanners thrashing per
-			// tuple. Per-scanner tallies keep vote order intact.
-			for i, sc := range scanners {
-				if err := sc.Scan(rel, 0, rel.Len(), parts[i]); err != nil {
-					return nil, err
+			if cfg.BlockRows < 0 {
+				// Tuple-at-a-time legacy engine: scanner-major, each
+				// scanner sweeping the chunk with its own hasher state.
+				for i, sc := range scanners {
+					for j := 0; j < rel.Len(); j++ {
+						sc.ScanTuple(rel.Tuple(j), parts[i])
+					}
 				}
+				cfg.report(rel.Len())
+				return parts, nil
+			}
+			var bs mark.BlockScratch
+			br := cfg.blockRows()
+			for lo := 0; lo < rel.Len(); lo += br {
+				hi := min(lo+br, rel.Len())
+				for i, sc := range scanners {
+					if err := sc.ScanBlock(rel, lo, hi, parts[i], &bs); err != nil {
+						return nil, err
+					}
+				}
+				cfg.report(hi - lo)
 			}
 			return parts, nil
 		},

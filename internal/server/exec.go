@@ -76,8 +76,10 @@ func (s *Server) loadStoredRecord(id string) (*core.Record, *api.Error) {
 
 // execWatermark embeds a watermark into an inline relation, persists the
 // certificate, and returns the marked data — the body of POST /watermark
-// and of "watermark" jobs.
-func (s *Server) execWatermark(ctx context.Context, req api.WatermarkRequest) (*api.WatermarkResponse, *api.Error) {
+// and of "watermark" jobs. progress, when non-nil, receives per-block
+// tuple counts from the embedding pass (async jobs meter themselves
+// through it; sync handlers pass nil).
+func (s *Server) execWatermark(ctx context.Context, req api.WatermarkRequest, progress func(tuples int)) (*api.WatermarkResponse, *api.Error) {
 	rel, _, err := decodeRelation(req.Schema, req.Format, req.Data)
 	if err != nil {
 		return nil, api.Errorf(api.CodeInvalidArgument, "relation: %v", err)
@@ -98,6 +100,7 @@ func (s *Server) execWatermark(ctx context.Context, req api.WatermarkRequest) (*
 		WithFrequencyChannel:  req.FrequencyChannel,
 		MaxAlterationFraction: req.MaxAlterationFraction,
 		Workers:               s.workersFor(req.Workers),
+		Progress:              progress,
 	})
 	if err != nil {
 		if aerr := ctxErr(err); aerr != nil {
@@ -169,7 +172,7 @@ func (s *Server) execVerify(ctx context.Context, req api.VerifyRequest) (*api.Ve
 
 // execVerifyBatch is the inline-JSON form of batch verification: parse
 // the suspect payload into a row reader, then run the shared scan.
-func (s *Server) execVerifyBatch(ctx context.Context, req api.BatchVerifyRequest) (*api.BatchVerifyResponse, *api.Error) {
+func (s *Server) execVerifyBatch(ctx context.Context, req api.BatchVerifyRequest, progress func(tuples int)) (*api.BatchVerifyResponse, *api.Error) {
 	if req.Schema == "" || req.Data == "" {
 		return nil, api.Errorf(api.CodeInvalidArgument, "missing schema or data")
 	}
@@ -181,7 +184,7 @@ func (s *Server) execVerifyBatch(ctx context.Context, req api.BatchVerifyRequest
 	if err != nil {
 		return nil, api.Errorf(api.CodeInvalidArgument, "relation: %v", err)
 	}
-	return s.execVerifyBatchScan(ctx, req.Records, len(req.Records) != 0, src, req.Workers)
+	return s.execVerifyBatchScan(ctx, req.Records, len(req.Records) != 0, src, req.Workers, progress)
 }
 
 // execVerifyBatchScan verifies one suspect stream against many stored
@@ -189,7 +192,7 @@ func (s *Server) execVerifyBatch(ctx context.Context, req api.BatchVerifyRequest
 // resolve (an unknown one is not_found); in whole-catalog mode a record
 // deleted between List and Get is reported per-certificate instead of
 // failing the audit.
-func (s *Server) execVerifyBatchScan(ctx context.Context, ids []string, explicit bool, src relation.RowReader, workers int) (*api.BatchVerifyResponse, *api.Error) {
+func (s *Server) execVerifyBatchScan(ctx context.Context, ids []string, explicit bool, src relation.RowReader, workers int, progress func(tuples int)) (*api.BatchVerifyResponse, *api.Error) {
 	if !explicit {
 		all, err := s.store.List()
 		if err != nil {
@@ -221,8 +224,9 @@ func (s *Server) execVerifyBatchScan(ctx context.Context, ids []string, explicit
 	}
 
 	outs, err := core.VerifyBatch(ctx, recs, src, core.BatchOptions{
-		Workers: s.workersFor(workers),
-		Cache:   s.cache,
+		Workers:  s.workersFor(workers),
+		Cache:    s.cache,
+		Progress: progress,
 	})
 	if err != nil {
 		return nil, scanErr(err)

@@ -30,8 +30,8 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		payload := *req.Watermark
-		fn = func(ctx context.Context) (any, error) {
-			resp, aerr := s.execWatermark(ctx, payload)
+		fn = func(ctx context.Context, p *jobs.Progress) (any, error) {
+			resp, aerr := s.execWatermark(ctx, payload, p.Add)
 			if aerr != nil {
 				return nil, aerr
 			}
@@ -44,8 +44,8 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		payload := *req.VerifyBatch
-		fn = func(ctx context.Context) (any, error) {
-			resp, aerr := s.execVerifyBatch(ctx, payload)
+		fn = func(ctx context.Context, p *jobs.Progress) (any, error) {
+			resp, aerr := s.execVerifyBatch(ctx, payload, p.Add)
 			if aerr != nil {
 				return nil, aerr
 			}
@@ -120,6 +120,7 @@ func jobToAPI(snap jobs.Snapshot) api.Job {
 		Kind:      snap.Kind,
 		State:     api.JobState(snap.State),
 		CreatedAt: snap.Created,
+		Progress:  snap.Progress,
 	}
 	if !snap.Started.IsZero() {
 		j.StartedAt = timePtr(snap.Started)

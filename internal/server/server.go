@@ -325,7 +325,7 @@ func (s *Server) handleWatermark(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	resp, aerr := s.execWatermark(r.Context(), req)
+	resp, aerr := s.execWatermark(r.Context(), req, nil)
 	if aerr != nil {
 		writeErr(w, aerr)
 		return
@@ -371,7 +371,7 @@ func (s *Server) handleVerifyStream(w http.ResponseWriter, r *http.Request, mt s
 		return
 	}
 	workers, _ := strconv.Atoi(q.Get("workers"))
-	batch, aerr := s.execVerifyBatchScan(r.Context(), []string{id}, true, src, workers)
+	batch, aerr := s.execVerifyBatchScan(r.Context(), []string{id}, true, src, workers, nil)
 	if aerr != nil {
 		writeErr(w, aerr)
 		return
@@ -403,7 +403,7 @@ func (s *Server) handleVerifyBatch(w http.ResponseWriter, r *http.Request) {
 			writeErr(w, api.Errorf(api.CodeInvalidArgument, "relation: %v", err))
 			return
 		}
-		resp, aerr := s.execVerifyBatchScan(r.Context(), ids, len(ids) != 0, src, workers)
+		resp, aerr := s.execVerifyBatchScan(r.Context(), ids, len(ids) != 0, src, workers, nil)
 		if aerr != nil {
 			writeErr(w, aerr)
 			return
@@ -415,7 +415,7 @@ func (s *Server) handleVerifyBatch(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	resp, aerr := s.execVerifyBatch(r.Context(), req)
+	resp, aerr := s.execVerifyBatch(r.Context(), req, nil)
 	if aerr != nil {
 		writeErr(w, aerr)
 		return

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/api"
+	"repro/internal/jobs"
 	"repro/internal/server/store"
 )
 
@@ -267,6 +268,9 @@ func TestJobLifecycleOverHTTP(t *testing.T) {
 	if job.StartedAt == nil || job.FinishedAt == nil {
 		t.Fatalf("done job missing timestamps: %+v", job)
 	}
+	if job.Progress != 4000 {
+		t.Fatalf("done job progress %d, want 4000 (one tick per suspect tuple, not per certificate)", job.Progress)
+	}
 	if len(job.VerifyBatch.Results) != 2 ||
 		job.VerifyBatch.Results[0].Match != 1 ||
 		job.VerifyBatch.Results[0].Verdict != api.VerdictPresent ||
@@ -355,7 +359,7 @@ func TestQueueFullReplies429(t *testing.T) {
 	// server's Close cancels them, so the next HTTP submission must
 	// bounce — deterministically, regardless of scan speed.
 	started := make(chan struct{}, 1)
-	block := func(ctx context.Context) (any, error) {
+	block := func(ctx context.Context, _ *jobs.Progress) (any, error) {
 		select {
 		case started <- struct{}{}:
 		default:
