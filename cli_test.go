@@ -5,6 +5,7 @@ package repro_test
 // and CSV files, the way a downstream user would.
 
 import (
+	"encoding/json"
 	"net"
 	"net/http"
 	"os"
@@ -23,7 +24,7 @@ func buildCommands(t *testing.T) map[string]string {
 	t.Helper()
 	dir := t.TempDir()
 	bins := map[string]string{}
-	for _, name := range []string{"wmtool", "wmdatagen", "wmexperiments"} {
+	for _, name := range []string{"wmtool", "wmdatagen", "wmexperiments", "wmserver"} {
 		bin := filepath.Join(dir, name)
 		cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
 		cmd.Dir = "."
@@ -447,5 +448,131 @@ func TestCLIRemoteMode(t *testing.T) {
 		"-in", data, "-schema", itemScanSpec, "-poll", "20ms")
 	if strings.Contains(out, "WATERMARK PRESENT") {
 		t.Fatalf("pristine data audited as present:\n%s", out)
+	}
+}
+
+// TestCLIClusterAudit drives the distributed topology as real processes:
+// one wmserver -coordinator, two wmserver -join workers, and wmtool
+// audit -json pointed at the coordinator. The audit fans out across the
+// worker processes and the -json report on stdout is pure
+// machine-readable JSON matching the single-node verdicts.
+func TestCLIClusterAudit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries and runs three servers")
+	}
+	bins := buildCommands(t)
+	dir := t.TempDir()
+	data := filepath.Join(dir, "itemscan.csv")
+	marked := filepath.Join(dir, "marked.csv")
+	run(t, bins["wmdatagen"], "-dataset", "itemscan", "-n", "6000",
+		"-catalog", "300", "-seed", "cli-cluster", "-out", data, "-domains-dir", dir)
+
+	freePort := func() string {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addr := l.Addr().String()
+		l.Close()
+		return addr
+	}
+	startServer := func(name string, args ...string) string {
+		t.Helper()
+		addr := freePort()
+		full := append([]string{"-addr", addr, "-store", filepath.Join(dir, name)}, args...)
+		srv := exec.Command(bins["wmserver"], full...)
+		var out strings.Builder
+		srv.Stdout, srv.Stderr = &out, &out
+		if err := srv.Start(); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() {
+			srv.Process.Signal(os.Interrupt) //nolint:errcheck
+			srv.Wait()                       //nolint:errcheck
+		})
+		url := "http://" + addr
+		deadline := time.Now().Add(15 * time.Second)
+		for {
+			resp, err := http.Get(url + "/healthz")
+			if err == nil {
+				resp.Body.Close()
+				return url
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("%s never came up: %v\n%s", name, err, out.String())
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+
+	coordURL := startServer("coord", "-coordinator", "-shard-rows", "700")
+	startServer("w1", "-join", coordURL, "-capacity", "2")
+	startServer("w2", "-join", coordURL, "-capacity", "2")
+
+	// Watermark through the coordinator so the certificate lands in ITS
+	// store (workers need none — certificates travel in shard requests).
+	out := run(t, bins["wmtool"], "watermark", "-server", coordURL,
+		"-in", data, "-schema", itemScanSpec, "-attr", "Item_Nbr",
+		"-secret", "cli-cluster-secret", "-wm", "1011001110", "-e", "40",
+		"-domain", filepath.Join(dir, "Item_Nbr.domain"), "-out", marked)
+	m := regexp.MustCompile(`certificate stored server-side: id ([0-9a-f]{32})`).FindStringSubmatch(out)
+	if m == nil {
+		t.Fatalf("watermark output lacks certificate id:\n%s", out)
+	}
+	certID := m[1]
+
+	// Wait for both workers' first heartbeats to land.
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		resp, err := http.Get(coordURL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var health struct {
+			Cluster struct {
+				LiveWorkers int `json:"live_workers"`
+			} `json:"cluster"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&health)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if health.Cluster.LiveWorkers == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("workers never joined (live=%d)", health.Cluster.LiveWorkers)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// Distributed audit with -json: stdout is the pure JSON report.
+	cmd := exec.Command(bins["wmtool"], "audit", "-server", coordURL,
+		"-in", marked, "-schema", itemScanSpec, "-poll", "20ms", "-json")
+	var stdout, stderr strings.Builder
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("audit -json: %v\nstdout:\n%s\nstderr:\n%s", err, stdout.String(), stderr.String())
+	}
+	var report struct {
+		Results []struct {
+			ID      string  `json:"id"`
+			Match   float64 `json:"match"`
+			Verdict string  `json:"verdict"`
+		} `json:"results"`
+		Tuples int `json:"tuples"`
+	}
+	if err := json.Unmarshal([]byte(stdout.String()), &report); err != nil {
+		t.Fatalf("stdout is not pure JSON: %v\n%s", err, stdout.String())
+	}
+	if report.Tuples != 6000 || len(report.Results) != 1 {
+		t.Fatalf("report shape: %+v", report)
+	}
+	if r := report.Results[0]; r.ID != certID || r.Match != 1 || r.Verdict != "present" {
+		t.Fatalf("distributed verdict: %+v", r)
+	}
+	if !strings.Contains(stderr.String(), "audit job job-") {
+		t.Fatalf("human chatter missing from stderr:\n%s", stderr.String())
 	}
 }

@@ -6,16 +6,28 @@
 //
 //	wmserver -addr :8080 -store ./wmstore -workers 0 -scanner-cache 256
 //
-// See internal/server for the endpoint reference, README.md for a
-// quickstart with curl. SIGINT/SIGTERM drains in-flight requests before
-// exiting.
+// One binary plays every cluster role. A coordinator accepts worker
+// registrations and fans corpus audits out across them; workers join a
+// coordinator and scan the row-range shards it dispatches:
+//
+//	wmserver -addr :8080 -store ./wmstore -coordinator
+//	wmserver -addr :8081 -store ./w1store -join http://coord:8080 -capacity 2
+//	wmserver -addr :8082 -store ./w2store -join http://coord:8080 -capacity 2
+//
+// Point clients (wmtool audit, the SDK, curl) at the coordinator; audits
+// are distributed transparently and the reports are bit-identical to a
+// single-node scan. See internal/server for the endpoint reference,
+// internal/cluster for the protocol, README.md for a quickstart with
+// curl. SIGINT/SIGTERM drains in-flight requests before exiting.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
 	"os"
 
+	"repro/internal/cluster"
 	"repro/internal/server"
 )
 
@@ -27,7 +39,26 @@ func main() {
 	scannerCache := flag.Int("scanner-cache", 0, "prepared-certificate cache entries (0 = default, negative = disable)")
 	jobWorkers := flag.Int("job-workers", 0, "concurrent async jobs (0 = default)")
 	jobQueue := flag.Int("job-queue", 0, "async job queue depth; beyond it POST /v2/jobs replies 429 (0 = default)")
+	coordinator := flag.Bool("coordinator", false, "act as cluster coordinator: accept worker registrations and fan corpus audits out across them")
+	join := flag.String("join", "", "coordinator base URL to join as a scan worker (e.g. http://coord:8080)")
+	advertise := flag.String("advertise", "", "base URL the coordinator reaches this worker at (default derives http://127.0.0.1:<port> from -addr)")
+	workerID := flag.String("worker-id", "", "stable worker identity across restarts (default: the advertise URL)")
+	capacity := flag.Int("capacity", 0, "concurrent shards this worker scans (0 = 1)")
+	shardRows := flag.Int("shard-rows", 0, "suspect rows per dispatched shard when coordinating (0 = default)")
 	flag.Parse()
+
+	if *coordinator && *join != "" {
+		fmt.Fprintln(os.Stderr, "wmserver: -coordinator and -join are mutually exclusive (a node is one or the other)")
+		os.Exit(2)
+	}
+	adv := *advertise
+	if *join != "" && adv == "" {
+		var err error
+		if adv, err = deriveAdvertiseURL(*addr); err != nil {
+			fmt.Fprintln(os.Stderr, "wmserver:", err)
+			os.Exit(2)
+		}
+	}
 
 	err := server.Run(*addr, *storeDir, server.Config{
 		Workers:             *workers,
@@ -35,9 +66,34 @@ func main() {
 		ScannerCacheEntries: *scannerCache,
 		JobWorkers:          *jobWorkers,
 		JobQueueDepth:       *jobQueue,
+		Cluster: server.ClusterConfig{
+			Coordinator:  *coordinator,
+			Cluster:      cluster.Config{ShardRows: *shardRows},
+			JoinURL:      *join,
+			AdvertiseURL: adv,
+			WorkerID:     *workerID,
+			Capacity:     *capacity,
+		},
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "wmserver:", err)
 		os.Exit(1)
 	}
+}
+
+// deriveAdvertiseURL builds a loopback advertise URL from a listen
+// address — the single-machine default; multi-host clusters must pass
+// -advertise with a reachable host.
+func deriveAdvertiseURL(addr string) (string, error) {
+	host, port, err := net.SplitHostPort(addr)
+	if err != nil {
+		return "", fmt.Errorf("cannot derive -advertise from -addr %q: %v", addr, err)
+	}
+	if port == "" || port == "0" {
+		return "", fmt.Errorf("cannot derive -advertise from -addr %q: pass -advertise explicitly", addr)
+	}
+	if host == "" || host == "::" || host == "0.0.0.0" {
+		host = "127.0.0.1"
+	}
+	return "http://" + net.JoinHostPort(host, port), nil
 }

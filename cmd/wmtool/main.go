@@ -8,7 +8,7 @@
 //	wmtool verify  -in suspect.csv -schema SPEC -record cert.json | -records a.json,b.json,c.json
 //	wmtool attack  -in marked.csv -schema SPEC -type T [-frac F] [-attr A] [-seed S] -out attacked.csv
 //	wmtool analyze [-n N] [-e E] [-a A] [-p P] [-r R] [-theta T]
-//	wmtool audit   -server URL -in suspect.csv -schema SPEC [-records id1,id2] [-nowait]
+//	wmtool audit   -server URL -in suspect.csv -schema SPEC [-records id1,id2] [-nowait] [-json]
 //	wmtool serve   [-addr :8080] [-store DIR] [-workers N] [-scanner-cache N] [-job-workers N]
 //
 // SPEC is the schema grammar of internal/relation, e.g.
@@ -32,6 +32,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -756,6 +757,7 @@ func cmdAudit(args []string) error {
 	nowait := fs.Bool("nowait", false, "submit and print the job ID without waiting")
 	poll := fs.Duration("poll", 0, "fixed poll interval while waiting (0 = capped exponential backoff with jitter)")
 	quiet := fs.Bool("quiet", false, "suppress progress lines while waiting")
+	jsonOut := fs.Bool("json", false, "emit the final batch report (or, with -nowait, the job resource) as JSON on stdout; human chatter goes to stderr")
 	fs.Parse(args)
 
 	if *serverURL == "" || *in == "" || *spec == "" {
@@ -779,9 +781,18 @@ func cmdAudit(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("audit job %s submitted (%s)\n", job.ID, job.State)
+	// With -json, stdout carries machine-readable output ONLY; everything
+	// a human reads moves to stderr so `wmtool audit -json | jq` works.
+	human := os.Stdout
+	if *jsonOut {
+		human = os.Stderr
+	}
+	fmt.Fprintf(human, "audit job %s submitted (%s)\n", job.ID, job.State)
 	if *nowait {
-		fmt.Printf("poll with: curl %s/v2/jobs/%s\n", *serverURL, job.ID)
+		fmt.Fprintf(human, "poll with: curl %s/v2/jobs/%s\n", *serverURL, job.ID)
+		if *jsonOut {
+			return writeJSONOut(job)
+		}
 		return nil
 	}
 
@@ -794,7 +805,7 @@ func cmdAudit(args []string) error {
 		var lastProgress int64 = -1
 		waitOpts.Notify = func(j *api.Job) {
 			if j.State == api.JobRunning && j.Progress > lastProgress {
-				fmt.Printf("  ... %d tuples scanned (%s)\n", j.Progress, time.Since(start).Round(time.Second))
+				fmt.Fprintf(human, "  ... %d tuples scanned (%s)\n", j.Progress, time.Since(start).Round(time.Second))
 				lastProgress = j.Progress
 			}
 		}
@@ -805,7 +816,10 @@ func cmdAudit(args []string) error {
 	}
 	switch final.State {
 	case api.JobDone:
-		fmt.Printf("job %s done in %s\n", final.ID, time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(human, "job %s done in %s\n", final.ID, time.Since(start).Round(time.Millisecond))
+		if *jsonOut {
+			return writeJSONOut(final.VerifyBatch)
+		}
 		printBatchResults(*in, *serverURL, final.VerifyBatch)
 		return nil
 	case api.JobCancelled:
@@ -813,4 +827,11 @@ func cmdAudit(args []string) error {
 	default:
 		return fmt.Errorf("audit: job %s failed: %v", final.ID, final.Error)
 	}
+}
+
+// writeJSONOut renders v as indented JSON on stdout — the -json contract.
+func writeJSONOut(v any) error {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
 }

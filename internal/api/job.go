@@ -71,3 +71,10 @@ type Job struct {
 type JobList struct {
 	Jobs []Job `json:"jobs"`
 }
+
+// LongPollMaxHeader is the response header GET /v2/jobs/{id} advertises
+// long-poll support with: its value is the longest ?wait=<duration> the
+// server will honor (a Go duration string). Clients that see it switch
+// from sleep-and-poll to parked requests that return the moment the job
+// changes state; clients that don't keep polling and lose nothing.
+const LongPollMaxHeader = "X-Long-Poll-Max"

@@ -88,22 +88,30 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 
 // exchange sends req and decodes the response.
 func (c *Client) exchange(req *http.Request, out any) error {
+	_, err := c.exchangeHeader(req, out)
+	return err
+}
+
+// exchangeHeader is exchange surfacing the response headers, for the few
+// calls that read advertisement headers (long-poll discovery). Headers
+// are returned only on success.
+func (c *Client) exchangeHeader(req *http.Request, out any) (http.Header, error) {
 	resp, err := c.hc.Do(req)
 	if err != nil {
-		return fmt.Errorf("client: %w", err)
+		return nil, fmt.Errorf("client: %w", err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
-		return decodeAPIError(resp)
+		return nil, decodeAPIError(resp)
 	}
 	if out == nil {
 		io.Copy(io.Discard, resp.Body) //nolint:errcheck // drain for keep-alive
-		return nil
+		return resp.Header, nil
 	}
 	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-		return fmt.Errorf("client: decoding response: %w", err)
+		return nil, fmt.Errorf("client: decoding response: %w", err)
 	}
-	return nil
+	return resp.Header, nil
 }
 
 // decodeAPIError reconstructs the typed error from an error response. A
@@ -222,6 +230,37 @@ func (c *Client) VerifyBatchStream(ctx context.Context, recordIDs []string, body
 	return &out, nil
 }
 
+// ---- cluster-internal RPCs ----
+//
+// These two calls speak the coordinator/worker protocol of
+// internal/cluster. They are exported because the coordinator and the
+// worker agent are themselves SDK consumers, but the routes they hit are
+// cluster-internal: ScanShard request bodies carry certificates with
+// their owner secrets, so they must never cross the cluster's trust
+// boundary.
+
+// RegisterWorker announces (or re-announces — it doubles as the
+// heartbeat) a scan worker to a coordinator and returns the lease terms
+// the coordinator expects it to heartbeat under.
+func (c *Client) RegisterWorker(ctx context.Context, reg api.WorkerRegistration) (*api.WorkerAck, error) {
+	var out api.WorkerAck
+	if err := c.do(ctx, http.MethodPost, "/v2/internal/workers", reg, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// ScanShard asks a worker to scan one row-range shard of a suspect corpus
+// against the request's certificate set, returning one partial tally per
+// certificate.
+func (c *Client) ScanShard(ctx context.Context, req api.ShardScanRequest) (*api.ShardScanResponse, error) {
+	var out api.ShardScanResponse
+	if err := c.do(ctx, http.MethodPost, "/v2/internal/scan", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
 // ---- async jobs ----
 
 // SubmitJob enqueues an async job (api.JobKindWatermark or
@@ -237,11 +276,36 @@ func (c *Client) SubmitJob(ctx context.Context, req api.JobRequest) (*api.Job, e
 
 // Job polls one job by ID.
 func (c *Client) Job(ctx context.Context, id string) (*api.Job, error) {
-	var out api.Job
-	if err := c.do(ctx, http.MethodGet, "/v2/jobs/"+url.PathEscape(id), nil, &out); err != nil {
-		return nil, err
+	job, _, err := c.jobPoll(ctx, id, 0)
+	return job, err
+}
+
+// jobPoll fetches one job resource. wait > 0 long-polls: the server
+// parks the request until the job changes state or the wait elapses
+// (GET /v2/jobs/{id}?wait=…). The returned advertised duration is the
+// server's long-poll cap from the X-Long-Poll-Max header, or 0 when the
+// server does not advertise long-polling.
+func (c *Client) jobPoll(ctx context.Context, id string, wait time.Duration) (*api.Job, time.Duration, error) {
+	path := c.base + "/v2/jobs/" + url.PathEscape(id)
+	if wait > 0 {
+		path += "?wait=" + url.QueryEscape(wait.String())
 	}
-	return &out, nil
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, path, nil)
+	if err != nil {
+		return nil, 0, fmt.Errorf("client: %w", err)
+	}
+	var out api.Job
+	header, err := c.exchangeHeader(req, &out)
+	if err != nil {
+		return nil, 0, err
+	}
+	var advertised time.Duration
+	if h := header.Get(api.LongPollMaxHeader); h != "" {
+		if d, perr := time.ParseDuration(h); perr == nil && d > 0 {
+			advertised = d
+		}
+	}
+	return &out, advertised, nil
 }
 
 // Jobs lists the server's retained jobs, newest first.
@@ -307,6 +371,15 @@ type WaitOptions struct {
 // returns the final resource; the outcome of failed and cancelled jobs
 // is in Job.Error, not in WaitJobWith's error (which reports
 // transport/ctx problems only).
+//
+// When the server advertises long-polling (the X-Long-Poll-Max header on
+// job GETs), the wait prefers it: instead of sleeping its backoff delay
+// and then polling, it sends that delay as ?wait= and lets the SERVER
+// park the request — same request cadence when nothing happens, but the
+// terminal state comes back the moment it is reached instead of up to a
+// full backoff delay late. Notify fires on every poll either way, so
+// progress displays keep their cadence. Against servers that do not
+// advertise it, the sleep-then-poll loop is unchanged.
 func (c *Client) WaitJobWith(ctx context.Context, id string, o WaitOptions) (*api.Job, error) {
 	delay := o.Initial
 	if delay <= 0 {
@@ -331,8 +404,19 @@ func (c *Client) WaitJobWith(ctx context.Context, id string, o WaitOptions) (*ap
 		<-timer.C
 	}
 	defer timer.Stop()
+	var longPoll time.Duration // server's advertised cap; first poll discovers it
+	longPollOK := true
 	for {
-		job, err := c.Job(ctx, id)
+		job, advertised, err := c.jobPoll(ctx, id, longPoll)
+		if err != nil && longPoll > 0 && ctx.Err() == nil {
+			// A parked request can outlive the caller's own
+			// http.Client.Timeout (safe before long-polling existed, when
+			// every poll returned instantly). Treat the failure as an
+			// empty poll: retry plainly and stop parking for the rest of
+			// this wait rather than flapping on every request.
+			longPollOK = false
+			job, _, err = c.jobPoll(ctx, id, 0)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -346,11 +430,18 @@ func (c *Client) WaitJobWith(ctx context.Context, id string, o WaitOptions) (*ap
 		if jitter > 0 {
 			d = time.Duration(float64(d) * (1 - jitter*rand.Float64()))
 		}
-		timer.Reset(d)
-		select {
-		case <-ctx.Done():
-			return nil, ctx.Err()
-		case <-timer.C:
+		if advertised > 0 && longPollOK {
+			// Long-poll the next request for the delay we would have
+			// slept — the server returns early on any state change.
+			longPoll = min(d, advertised)
+		} else {
+			longPoll = 0
+			timer.Reset(d)
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-timer.C:
+			}
 		}
 		if next := time.Duration(float64(delay) * mult); next > delay {
 			delay = next // guard against overflow freezing the growth

@@ -1,4 +1,4 @@
-package client
+package client_test
 
 import (
 	"context"
@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/api"
+	"repro/internal/client"
 	"repro/internal/core"
 	"repro/internal/datagen"
 	"repro/internal/relation"
@@ -21,7 +22,7 @@ const testSchemaSpec = "Visit_Nbr:int!key, Item_Nbr:int:categorical"
 
 // newTestClient spins a real server over a temp store and returns an SDK
 // client bound to it, plus the store for white-box fixtures.
-func newTestClient(t *testing.T, cfg server.Config) (*Client, *store.Store) {
+func newTestClient(t *testing.T, cfg server.Config) (*client.Client, *store.Store) {
 	t.Helper()
 	st, err := store.Open(t.TempDir())
 	if err != nil {
@@ -33,7 +34,7 @@ func newTestClient(t *testing.T, cfg server.Config) (*Client, *store.Store) {
 		ts.Close()
 		srv.Close()
 	})
-	return New(ts.URL, WithHTTPClient(ts.Client())), st
+	return client.New(ts.URL, client.WithHTTPClient(ts.Client())), st
 }
 
 func testCSV(t *testing.T, n int) (csv string, domain []string) {
@@ -81,7 +82,7 @@ func TestSDKWatermarkVerifyRoundTrip(t *testing.T) {
 	}
 
 	// Streaming verify: the suspect flows from an io.Reader.
-	vs, err := c.VerifyStream(ctx, wm.ID, strings.NewReader(wm.Data), StreamOptions{
+	vs, err := c.VerifyStream(ctx, wm.ID, strings.NewReader(wm.Data), client.StreamOptions{
 		Schema: testSchemaSpec,
 	})
 	if err != nil {
@@ -331,7 +332,7 @@ func TestSDKVerifyBatchStream(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	resp, err := c.VerifyBatchStream(ctx, nil, strings.NewReader(owner.Data), StreamOptions{
+	resp, err := c.VerifyBatchStream(ctx, nil, strings.NewReader(owner.Data), client.StreamOptions{
 		Schema: testSchemaSpec,
 	})
 	if err != nil {

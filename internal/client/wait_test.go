@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -137,5 +138,159 @@ func TestWaitJobCancelledContext(t *testing.T) {
 	})
 	if err == nil || ctx.Err() == nil {
 		t.Fatalf("want ctx error, got %v", err)
+	}
+}
+
+// longPollStub serves GET /v2/jobs/{id} with long-poll advertisement:
+// requests without ?wait= return the current state immediately; requests
+// with ?wait= park until the state flips to done or the wait elapses.
+type longPollStub struct {
+	mu        sync.Mutex
+	state     api.JobState
+	flipped   chan struct{} // closed when the job becomes terminal
+	waits     []time.Duration
+	plainGets atomic.Int64
+}
+
+func newLongPollStub() *longPollStub {
+	return &longPollStub{state: api.JobRunning, flipped: make(chan struct{})}
+}
+
+func (s *longPollStub) finish() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.state != api.JobDone {
+		s.state = api.JobDone
+		close(s.flipped)
+	}
+}
+
+func (s *longPollStub) handler(t *testing.T) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if raw := r.URL.Query().Get("wait"); raw != "" {
+			wait, err := time.ParseDuration(raw)
+			if err != nil {
+				t.Errorf("bad wait %q: %v", raw, err)
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			s.mu.Lock()
+			s.waits = append(s.waits, wait)
+			s.mu.Unlock()
+			select {
+			case <-s.flipped:
+			case <-time.After(wait):
+			case <-r.Context().Done():
+			}
+		} else {
+			s.plainGets.Add(1)
+		}
+		s.mu.Lock()
+		job := api.Job{ID: "job-lp", State: s.state}
+		s.mu.Unlock()
+		w.Header().Set(api.LongPollMaxHeader, (30 * time.Second).String())
+		json.NewEncoder(w).Encode(job) //nolint:errcheck
+	})
+}
+
+// TestWaitJobWithPrefersLongPoll asserts the advertised-long-poll path:
+// the first request is a plain GET (discovery), every later one parks
+// server-side with ?wait=, and the terminal state comes back the moment
+// it happens — far sooner than the next backoff poll would have.
+func TestWaitJobWithPrefersLongPoll(t *testing.T) {
+	stub := newLongPollStub()
+	ts := httptest.NewServer(stub.handler(t))
+	defer ts.Close()
+
+	go func() {
+		time.Sleep(60 * time.Millisecond)
+		stub.finish()
+	}()
+	start := time.Now()
+	job, err := New(ts.URL).WaitJobWith(context.Background(), "job-lp", WaitOptions{
+		// A backoff that would sleep far past the flip if long-polling
+		// were ignored.
+		Initial: 10 * time.Second, Max: 10 * time.Second, Jitter: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if job.State != api.JobDone {
+		t.Fatalf("state = %v, want done", job.State)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("took %v — long-poll not used, client slept its backoff", elapsed)
+	}
+	if got := stub.plainGets.Load(); got != 1 {
+		t.Fatalf("plain GETs = %d, want exactly the discovery poll", got)
+	}
+	stub.mu.Lock()
+	defer stub.mu.Unlock()
+	if len(stub.waits) == 0 {
+		t.Fatal("no long-poll requests arrived")
+	}
+	for _, wait := range stub.waits {
+		if wait > 30*time.Second {
+			t.Fatalf("client asked for %v, beyond the advertised cap", wait)
+		}
+	}
+}
+
+// TestWaitJobPlainPollingUnchanged pins the fallback: a server that never
+// advertises long-polling sees only plain GETs (the pre-long-poll
+// behavior, bit for bit).
+func TestWaitJobPlainPollingUnchanged(t *testing.T) {
+	var sawWait atomic.Bool
+	var polls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("wait") != "" {
+			sawWait.Store(true)
+		}
+		state := api.JobRunning
+		if polls.Add(1) >= 3 {
+			state = api.JobDone
+		}
+		json.NewEncoder(w).Encode(api.Job{ID: "job-p", State: state}) //nolint:errcheck
+	}))
+	defer ts.Close()
+
+	job, err := New(ts.URL).WaitJob(context.Background(), "job-p", time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.State != api.JobDone {
+		t.Fatalf("state = %v, want done", job.State)
+	}
+	if sawWait.Load() {
+		t.Fatal("client sent ?wait= to a server that never advertised long-polling")
+	}
+}
+
+// TestWaitJobLongPollSurvivesClientTimeout pins the interaction with a
+// caller-supplied http.Client.Timeout shorter than the backoff delay: a
+// parked request that dies at the client's own deadline is retried as a
+// plain poll (and parking stops), instead of failing the whole wait.
+func TestWaitJobLongPollSurvivesClientTimeout(t *testing.T) {
+	stub := newLongPollStub()
+	ts := httptest.NewServer(stub.handler(t))
+	defer ts.Close()
+
+	go func() {
+		time.Sleep(250 * time.Millisecond)
+		stub.finish()
+	}()
+	c := New(ts.URL, WithHTTPClient(&http.Client{Timeout: 100 * time.Millisecond}))
+	job, err := c.WaitJobWith(context.Background(), "job-lp", WaitOptions{
+		// Backoff delays beyond the client timeout: the long-poll request
+		// is guaranteed to die at the client's deadline first, and the
+		// plain polling it falls back to still finishes promptly.
+		Initial: 300 * time.Millisecond, Max: 300 * time.Millisecond, Jitter: -1,
+	})
+	if err != nil {
+		t.Fatalf("WaitJobWith failed on the client-side timeout: %v", err)
+	}
+	if job.State != api.JobDone {
+		t.Fatalf("state = %v, want done", job.State)
 	}
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 
+	"repro/internal/ecc"
 	"repro/internal/keyhash"
 	"repro/internal/mark"
 	"repro/internal/pipeline"
@@ -46,6 +47,90 @@ type BatchReport struct {
 	Err error
 }
 
+// BatchPrep is the prepared front half of a batch verification: one
+// detection scanner per resolvable certificate, fixed against one suspect
+// schema. It splits VerifyBatch at the point a distributed audit needs to
+// cut it — the coordinator prepares once, fans the SCAN out across
+// workers (each of which prepares identically from the same certificates,
+// since every parameter derives deterministically from the record), and
+// feeds the merged tallies back through Reports. Local verification is
+// the same prep with a local scan in the middle, so the two paths cannot
+// drift. Immutable after PrepareBatch and safe for concurrent use.
+type BatchPrep struct {
+	scanners []*mark.Scanner
+	records  []*Record // live certificates, scanner order
+	wants    []ecc.Bits
+	live     []int   // scanner position -> input records index
+	errs     []error // per input record; nil where a scanner exists
+}
+
+// PrepareBatch resolves every certificate into a detection scanner
+// against the suspect schema. Per-certificate failures (corrupt records,
+// attributes missing from the schema) are collected, not fatal: they
+// surface as BatchReport.Err from Reports, and the remaining certificates
+// still ride the scan.
+func PrepareBatch(records []*Record, schema *relation.Schema, opts BatchOptions) *BatchPrep {
+	p := &BatchPrep{errs: make([]error, len(records))}
+	for i, rec := range records {
+		pr, err := prepared(rec, opts.Cache, opts.HashKernel)
+		if err != nil {
+			p.errs[i] = err
+			continue
+		}
+		sc, err := pr.streamScanner(schema)
+		if err != nil {
+			p.errs[i] = err
+			continue
+		}
+		p.scanners = append(p.scanners, sc)
+		p.records = append(p.records, rec)
+		p.wants = append(p.wants, pr.want)
+		p.live = append(p.live, i)
+	}
+	return p
+}
+
+// Scanners returns the prepared scanners, one per live certificate in
+// input order. The slice is shared — callers must not mutate it.
+func (p *BatchPrep) Scanners() []*mark.Scanner { return p.scanners }
+
+// Records returns the live certificates in scanner order — what a
+// coordinator ships to workers, so a certificate that failed prep locally
+// is never dispatched.
+func (p *BatchPrep) Records() []*Record { return p.records }
+
+// Errs returns the per-input-record prep failures (nil entries where a
+// scanner exists). The slice is shared — callers must not mutate it.
+func (p *BatchPrep) Errs() []error { return p.errs }
+
+// Reports aggregates one completed tally per scanner (in Scanners order —
+// pipeline.ScanMany's output, or a coordinator's merged shard partials)
+// into per-certificate reports in the original records order, restoring
+// the prep failures of certificates that never scanned.
+func (p *BatchPrep) Reports(tallies []*mark.Tally) []BatchReport {
+	out := make([]BatchReport, len(p.errs))
+	for i, err := range p.errs {
+		if err != nil {
+			out[i].Err = err
+		}
+	}
+	for j, sc := range p.scanners {
+		i := p.live[j]
+		rep, err := sc.Report(tallies[j])
+		if err != nil {
+			out[i].Err = err
+			continue
+		}
+		out[i].Report = Report{
+			Match:          rep.MatchFraction(p.wants[j]),
+			Detected:       rep.WM.String(),
+			FrequencyMatch: -1,
+			Primary:        rep,
+		}
+	}
+	return out
+}
+
 // VerifyBatch verifies every certificate against ONE streaming pass over
 // the suspect dataset — the ownership-audit primitive: a suspect corpus
 // is checked against a whole registered catalog for the cost of a single
@@ -67,27 +152,8 @@ type BatchReport struct {
 // call with ctx.Err() — this is how job cancellation and client
 // disconnects halt a corpus audit mid-pass.
 func VerifyBatch(ctx context.Context, records []*Record, src relation.RowReader, opts BatchOptions) ([]BatchReport, error) {
-	out := make([]BatchReport, len(records))
-	preps := make([]*preparedRecord, len(records))
-	var scanners []*mark.Scanner
-	var live []int // scanner position -> records index
-	for i, rec := range records {
-		p, err := prepared(rec, opts.Cache, opts.HashKernel)
-		if err != nil {
-			out[i].Err = err
-			continue
-		}
-		sc, err := p.streamScanner(src.Schema())
-		if err != nil {
-			out[i].Err = err
-			continue
-		}
-		preps[i] = p
-		scanners = append(scanners, sc)
-		live = append(live, i)
-	}
-
-	outs, err := pipeline.DetectMany(ctx, src, scanners, pipeline.Config{
+	prep := PrepareBatch(records, src.Schema(), opts)
+	tallies, err := pipeline.ScanMany(ctx, src, prep.Scanners(), pipeline.Config{
 		Workers:   workerCount(opts.Workers),
 		BlockRows: opts.BlockSize,
 		Progress:  opts.Progress,
@@ -95,18 +161,5 @@ func VerifyBatch(ctx context.Context, records []*Record, src relation.RowReader,
 	if err != nil {
 		return nil, err
 	}
-	for j, o := range outs {
-		i := live[j]
-		if o.Err != nil {
-			out[i].Err = o.Err
-			continue
-		}
-		out[i].Report = Report{
-			Match:          o.Report.MatchFraction(preps[i].want),
-			Detected:       o.Report.WM.String(),
-			FrequencyMatch: -1,
-			Primary:        o.Report,
-		}
-	}
-	return out, nil
+	return prep.Reports(tallies), nil
 }

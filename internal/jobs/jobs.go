@@ -163,6 +163,17 @@ type Manager struct {
 	jobs   map[string]*job
 	seq    uint64
 	closed bool
+	// changed is closed and replaced on every job state transition — the
+	// broadcast WaitChange long-pollers park on. Coarse (any job's
+	// transition wakes every waiter) but transitions are rare next to
+	// scan work, and each woken waiter just re-reads one snapshot.
+	changed chan struct{}
+	// draining, once closed (Drain), makes every WaitChange — parked or
+	// future — return its current snapshot immediately: the graceful-
+	// shutdown hook, so parked long-polls never stall an http.Server
+	// drain.
+	draining  chan struct{}
+	drainOnce sync.Once
 }
 
 // NewManager starts cfg.Workers worker goroutines and returns the
@@ -179,11 +190,13 @@ func NewManager(cfg Config) *Manager {
 	}
 	ctx, stop := context.WithCancel(context.Background())
 	m := &Manager{
-		cfg:     cfg,
-		baseCtx: ctx,
-		stop:    stop,
-		queue:   make(chan *job, cfg.QueueDepth),
-		jobs:    make(map[string]*job),
+		cfg:      cfg,
+		baseCtx:  ctx,
+		stop:     stop,
+		queue:    make(chan *job, cfg.QueueDepth),
+		jobs:     make(map[string]*job),
+		changed:  make(chan struct{}),
+		draining: make(chan struct{}),
 	}
 	for w := 0; w < cfg.Workers; w++ {
 		m.wg.Add(1)
@@ -272,12 +285,14 @@ func (m *Manager) run(j *job) {
 	j.started = time.Now()
 	j.cancel = cancel
 	fn := j.fn
+	m.notifyLocked()
 	m.mu.Unlock()
 
 	result, err := fn(ctx, &j.progress)
 
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	defer m.notifyLocked()
 	j.finished = time.Now()
 	j.cancel = nil
 	j.fn = nil // the closure captures the request payload; free it with the job
@@ -295,6 +310,64 @@ func (m *Manager) run(j *job) {
 		j.state = StateDone
 		j.result = result
 	}
+}
+
+// notifyLocked broadcasts a state transition to every parked WaitChange.
+// Callers hold m.mu.
+func (m *Manager) notifyLocked() {
+	close(m.changed)
+	m.changed = make(chan struct{})
+}
+
+// WaitChange blocks until the job's state differs from what it was when
+// the call arrived (queued→running counts, not just terminality), the
+// job is already terminal, the timeout elapses, or ctx is cancelled —
+// and returns the job's snapshot at that moment. This is the server side
+// of long-polling GET /v2/jobs/{id}?wait=…: one parked request instead
+// of a client polling loop. Progress updates alone do not wake it; they
+// are sampled from whatever snapshot the state change (or timeout)
+// returns.
+func (m *Manager) WaitChange(ctx context.Context, id string, timeout time.Duration) (Snapshot, error) {
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	var from State
+	first := true
+	for {
+		m.mu.Lock()
+		j, ok := m.jobs[id]
+		if !ok {
+			m.mu.Unlock()
+			return Snapshot{}, ErrNotFound
+		}
+		snap := snapshotLocked(j)
+		ch := m.changed
+		m.mu.Unlock()
+		if first {
+			from = snap.State
+			first = false
+		}
+		if snap.State.Terminal() || snap.State != from {
+			return snap, nil
+		}
+		select {
+		case <-ctx.Done():
+			return snap, nil // the poller is gone or gave up; current state is the answer
+		case <-m.draining:
+			return snap, nil // server shutting down; answer now so the drain completes
+		case <-timer.C:
+			return snap, nil
+		case <-ch:
+		}
+	}
+}
+
+// Drain makes every WaitChange — currently parked or yet to arrive —
+// return its snapshot immediately instead of parking. It cancels nothing
+// and is idempotent: call it when graceful shutdown begins
+// (http.Server.RegisterOnShutdown), so parked long-polls answer at once
+// and the drain is bounded by scan work, not poll timeouts.
+func (m *Manager) Drain() {
+	m.drainOnce.Do(func() { close(m.draining) })
 }
 
 // Get returns a snapshot of the job with the given ID.
@@ -327,6 +400,7 @@ func (m *Manager) Cancel(id string) (Snapshot, error) {
 		j.err = context.Canceled
 		j.finished = time.Now()
 		j.fn = nil
+		m.notifyLocked()
 	case StateRunning:
 		if j.cancel != nil {
 			j.cancel()
@@ -380,6 +454,7 @@ func (m *Manager) Close() {
 			j.fn = nil
 		}
 	}
+	m.notifyLocked()
 }
 
 // Stats is a point-in-time occupancy view for health endpoints.

@@ -347,3 +347,176 @@ func TestProgressVisibleWhileRunning(t *testing.T) {
 		t.Fatalf("final progress = %d, want 1280", final.Progress)
 	}
 }
+
+// TestWaitChangeBlocksUntilTransition long-polls a running job: the wait
+// parks through the run and returns the moment the job finishes, well
+// before its generous timeout.
+func TestWaitChangeBlocksUntilTransition(t *testing.T) {
+	m := NewManager(Config{Workers: 1})
+	defer m.Close()
+	release := make(chan struct{})
+	started := make(chan struct{})
+	snap, err := m.Submit("test", func(ctx context.Context, _ *Progress) (any, error) {
+		close(started)
+		<-release
+		return "result", nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+
+	got := make(chan Snapshot, 1)
+	go func() {
+		s, err := m.WaitChange(context.Background(), snap.ID, 30*time.Second)
+		if err != nil {
+			t.Error(err)
+		}
+		got <- s
+	}()
+	// The waiter must be parked, not returning early on the running state.
+	select {
+	case s := <-got:
+		t.Fatalf("WaitChange returned %v while the job still ran", s.State)
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(release)
+	select {
+	case s := <-got:
+		if s.State != StateDone {
+			t.Fatalf("state = %v, want done", s.State)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("WaitChange never woke on the transition")
+	}
+}
+
+// TestWaitChangeQueuedToRunning wakes on the queued→running transition,
+// not only on terminality.
+func TestWaitChangeQueuedToRunning(t *testing.T) {
+	m := NewManager(Config{Workers: 1})
+	defer m.Close()
+	blockerRelease := make(chan struct{})
+	if _, err := m.Submit("blocker", func(ctx context.Context, _ *Progress) (any, error) {
+		<-blockerRelease
+		return nil, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	queued, err := m.Submit("queued", func(ctx context.Context, _ *Progress) (any, error) {
+		<-ctx.Done() // runs until cancelled by Close
+		return nil, ctx.Err()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	got := make(chan Snapshot, 1)
+	go func() {
+		s, _ := m.WaitChange(context.Background(), queued.ID, 30*time.Second)
+		got <- s
+	}()
+	time.Sleep(20 * time.Millisecond) // let the waiter park on "queued"
+	close(blockerRelease)             // the queued job may now start
+	select {
+	case s := <-got:
+		if s.State != StateRunning {
+			t.Fatalf("state = %v, want running", s.State)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("WaitChange never woke on queued->running")
+	}
+}
+
+// TestWaitChangeTimeoutAndErrors covers the timeout path (state
+// unchanged, current snapshot returned) and the unknown-ID error.
+func TestWaitChangeTimeoutAndErrors(t *testing.T) {
+	m := NewManager(Config{Workers: 1})
+	defer m.Close()
+	release := make(chan struct{})
+	started := make(chan struct{})
+	snap, err := m.Submit("test", func(ctx context.Context, _ *Progress) (any, error) {
+		close(started)
+		<-release
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started // park on "running", after the queued->running transition
+	start := time.Now()
+	s, err := m.WaitChange(context.Background(), snap.ID, 30*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.State != StateRunning {
+		t.Fatalf("state = %v, want running after timeout", s.State)
+	}
+	if elapsed := time.Since(start); elapsed < 25*time.Millisecond {
+		t.Fatalf("returned after %v, before the timeout", elapsed)
+	}
+
+	if _, err := m.WaitChange(context.Background(), "job-nope", time.Millisecond); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+
+	// A terminal job returns immediately, ignoring the timeout.
+	close(release) // free the single worker
+	done, err := m.Submit("quick", func(ctx context.Context, _ *Progress) (any, error) { return nil, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m, done.ID)
+	start = time.Now()
+	s, err = m.WaitChange(context.Background(), done.ID, 10*time.Second)
+	if err != nil || !s.State.Terminal() {
+		t.Fatalf("terminal WaitChange = %v, %v", s.State, err)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("terminal WaitChange blocked")
+	}
+}
+
+// TestDrainWakesParkedWaiters pins the graceful-shutdown contract: Drain
+// makes a parked WaitChange return its current snapshot immediately, and
+// later WaitChange calls never park at all.
+func TestDrainWakesParkedWaiters(t *testing.T) {
+	m := NewManager(Config{Workers: 1})
+	defer m.Close()
+	release := make(chan struct{})
+	defer close(release)
+	started := make(chan struct{})
+	snap, err := m.Submit("test", func(ctx context.Context, _ *Progress) (any, error) {
+		close(started)
+		<-release
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+
+	got := make(chan Snapshot, 1)
+	go func() {
+		s, _ := m.WaitChange(context.Background(), snap.ID, time.Minute)
+		got <- s
+	}()
+	time.Sleep(20 * time.Millisecond) // let the waiter park
+	m.Drain()
+	select {
+	case s := <-got:
+		if s.State != StateRunning {
+			t.Fatalf("drained snapshot state = %v, want running", s.State)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Drain did not wake the parked waiter")
+	}
+
+	start := time.Now()
+	if _, err := m.WaitChange(context.Background(), snap.ID, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("post-Drain WaitChange parked")
+	}
+}

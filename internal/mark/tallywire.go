@@ -1,0 +1,90 @@
+package mark
+
+import (
+	"fmt"
+
+	"repro/internal/ecc"
+)
+
+// TallyWire is the serialized form of a Tally — the unit of work that
+// crosses machine boundaries in a distributed audit. A cluster worker
+// scans its row-range shard into ordinary tallies, wires them, and ships
+// them back; the coordinator decodes each one and folds the partials in
+// row order with Tally.Merge, producing a total bit-identical to a local
+// single-pass scan (see the round-trip tests, which assert exactly that
+// for both vote aggregations).
+//
+// Vote counts travel as two parallel per-position arrays rather than an
+// array of structs: a bandwidth-b tally is 2b JSON integers plus one
+// base64 string, compact enough that a shard response carrying dozens of
+// certificates stays small next to the shard's row payload.
+type TallyWire struct {
+	// Rows, Fit, UnknownValues mirror the Tally scan counters.
+	Rows          int `json:"rows"`
+	Fit           int `json:"fit"`
+	UnknownValues int `json:"unknown_values,omitempty"`
+	// Zeros and Ones are the per-position vote counts; both have exactly
+	// bandwidth entries.
+	Zeros []int `json:"zeros"`
+	Ones  []int `json:"ones"`
+	// Last is the last vote per position in scan order, one byte per
+	// position (0, 1, or 0xFF = ecc.Erased); JSON carries it base64-coded.
+	Last []byte `json:"last"`
+}
+
+// Wire serializes t. The returned value shares no memory with t.
+func (t *Tally) Wire() TallyWire {
+	w := TallyWire{
+		Rows:          t.Rows,
+		Fit:           t.Fit,
+		UnknownValues: t.UnknownValues,
+		Zeros:         make([]int, len(t.Votes)),
+		Ones:          make([]int, len(t.Votes)),
+		Last:          make([]byte, len(t.Last)),
+	}
+	for i, v := range t.Votes {
+		w.Zeros[i] = v.Zeros
+		w.Ones[i] = v.Ones
+	}
+	copy(w.Last, t.Last)
+	return w
+}
+
+// Tally deserializes w, validating shape and value ranges — wire input
+// crosses trust boundaries, and a malformed partial must fail the shard
+// rather than corrupt (or panic) the merged audit. The returned tally
+// shares no memory with w.
+func (w TallyWire) Tally() (*Tally, error) {
+	if len(w.Zeros) != len(w.Ones) || len(w.Zeros) != len(w.Last) {
+		return nil, fmt.Errorf("mark: tally wire arrays disagree: %d zeros, %d ones, %d last",
+			len(w.Zeros), len(w.Ones), len(w.Last))
+	}
+	if w.Rows < 0 || w.Fit < 0 || w.UnknownValues < 0 {
+		return nil, fmt.Errorf("mark: negative tally counters (rows=%d, fit=%d, unknown=%d)",
+			w.Rows, w.Fit, w.UnknownValues)
+	}
+	t := &Tally{
+		Rows:          w.Rows,
+		Fit:           w.Fit,
+		UnknownValues: w.UnknownValues,
+		Votes:         make([]ecc.VoteTally, len(w.Zeros)),
+		Last:          make([]uint8, len(w.Last)),
+	}
+	for i := range w.Zeros {
+		if w.Zeros[i] < 0 || w.Ones[i] < 0 {
+			return nil, fmt.Errorf("mark: negative vote count at position %d", i)
+		}
+		t.Votes[i] = ecc.VoteTally{Zeros: w.Zeros[i], Ones: w.Ones[i]}
+		switch w.Last[i] {
+		case ecc.Zero, ecc.One, ecc.Erased:
+			t.Last[i] = w.Last[i]
+		default:
+			return nil, fmt.Errorf("mark: invalid last-vote byte %#x at position %d", w.Last[i], i)
+		}
+	}
+	return t, nil
+}
+
+// Bandwidth reports the wire tally's position count — what the receiver
+// checks against its scanner's bandwidth before merging.
+func (w TallyWire) Bandwidth() int { return len(w.Zeros) }

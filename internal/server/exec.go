@@ -223,13 +223,27 @@ func (s *Server) execVerifyBatchScan(ctx context.Context, ids []string, explicit
 		}
 	}
 
-	outs, err := core.VerifyBatch(ctx, recs, src, core.BatchOptions{
+	opts := core.BatchOptions{
 		Workers:  s.workersFor(workers),
 		Cache:    s.cache,
 		Progress: progress,
-	})
-	if err != nil {
-		return nil, scanErr(err)
+	}
+	// A coordinator with live workers fans the scan out across the
+	// cluster; the merged result is bit-identical to the local pass (the
+	// equivalence tests pin this), so callers cannot tell the difference
+	// except in wall-clock. With no live workers the audit degrades to
+	// the local scan rather than failing — an empty cluster is a
+	// single-node server that happens to accept registrations.
+	var outs []core.BatchReport
+	var err error
+	if s.coord != nil && s.coord.LiveWorkers() > 0 {
+		if outs, err = s.clusterVerifyBatch(ctx, recs, src, opts); err != nil {
+			return nil, clusterErr(err)
+		}
+	} else {
+		if outs, err = core.VerifyBatch(ctx, recs, src, opts); err != nil {
+			return nil, scanErr(err)
+		}
 	}
 	for j, out := range outs {
 		res := &resp.Results[live[j]]

@@ -71,15 +71,40 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, jobToAPI(snap))
 }
 
+// MaxLongPollWait caps how long one GET /v2/jobs/{id}?wait=<duration>
+// request may park server-side; longer waits are truncated, and the cap
+// is advertised in the X-Long-Poll-Max response header so clients size
+// their waits to it.
+const MaxLongPollWait = 30 * time.Second
+
+// handleGetJob is GET /v2/jobs/{id}. Plain requests return the job
+// resource immediately. With ?wait=<duration> the request long-polls:
+// the server parks it until the job's state changes (queued→running
+// counts), the job is already terminal, the wait elapses, or the client
+// disconnects — then replies with the job as it stands. One parked
+// request replaces a client-side polling loop.
 func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
-	snap, err := s.jobs.Get(r.PathValue("id"))
+	id := r.PathValue("id")
+	var snap jobs.Snapshot
+	var err error
+	if waitRaw := r.URL.Query().Get("wait"); waitRaw != "" {
+		wait, perr := time.ParseDuration(waitRaw)
+		if perr != nil || wait < 0 {
+			writeErr(w, api.Errorf(api.CodeInvalidArgument, "invalid wait %q", waitRaw))
+			return
+		}
+		snap, err = s.jobs.WaitChange(r.Context(), id, min(wait, MaxLongPollWait))
+	} else {
+		snap, err = s.jobs.Get(id)
+	}
 	if errors.Is(err, jobs.ErrNotFound) {
-		writeErr(w, api.Errorf(api.CodeNotFound, "%v: %s", err, r.PathValue("id")))
+		writeErr(w, api.Errorf(api.CodeNotFound, "%v: %s", err, id))
 		return
 	} else if err != nil {
 		writeErr(w, api.Errorf(api.CodeInternal, "%v", err))
 		return
 	}
+	w.Header().Set(api.LongPollMaxHeader, MaxLongPollWait.String())
 	writeJSON(w, http.StatusOK, jobToAPI(snap))
 }
 

@@ -34,6 +34,10 @@ func Run(addr, storeDir string, cfg Config) error {
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
+	// Parked long-polls answer immediately when the drain starts;
+	// otherwise a single GET /v2/jobs/{id}?wait=30s outlives the
+	// shutdown timeout and turns a clean drain into an error.
+	httpSrv.RegisterOnShutdown(srv.DrainLongPolls)
 
 	workers := cfg.Workers
 	if workers <= 0 {
@@ -43,6 +47,11 @@ func Run(addr, storeDir string, cfg Config) error {
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
+
+	// Join the cluster (if -join configured) once the listener is
+	// starting: registration is retried at the heartbeat cadence, so the
+	// race between first beat and first dispatched shard is harmless.
+	srv.Join()
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

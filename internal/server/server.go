@@ -55,6 +55,7 @@ import (
 	"time"
 
 	"repro/internal/api"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/jobs"
 	"repro/internal/relation"
@@ -84,6 +85,10 @@ type Config struct {
 	// JobRetain bounds how many finished jobs stay pollable; <= 0 means
 	// jobs.DefaultRetain.
 	JobRetain int
+	// Cluster selects the distributed-audit role (single node by
+	// default): a coordinator fans verify_batch audits out across joined
+	// workers, a worker heartbeats a coordinator and serves shard scans.
+	Cluster ClusterConfig
 	// Log, when non-nil, receives one line per request.
 	Log *log.Logger
 }
@@ -95,6 +100,8 @@ type Server struct {
 	cfg     Config
 	cache   *core.ScannerCache
 	jobs    *jobs.Manager
+	coord   *cluster.Coordinator // nil unless Config.Cluster.Coordinator
+	agent   *cluster.Agent       // nil until Join on a worker
 	mux     *http.ServeMux
 	started time.Time
 }
@@ -116,6 +123,14 @@ func New(st *store.Store, cfg Config) *Server {
 		QueueDepth: cfg.JobQueueDepth,
 		Retain:     cfg.JobRetain,
 	})
+	// Every server executes shards; only a coordinator takes
+	// registrations (elsewhere the route 404s, so a stray -join against a
+	// non-coordinator fails loudly instead of silently heartbeating).
+	s.mux.HandleFunc("POST /v2/internal/scan", s.handleInternalScan)
+	if cfg.Cluster.Coordinator {
+		s.coord = cluster.NewCoordinator(cfg.Cluster.Cluster)
+		s.mux.HandleFunc("POST /v2/internal/workers", s.handleRegisterWorker)
+	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	for _, v := range []string{"/v1", "/v2"} {
 		s.mux.HandleFunc("POST "+v+"/watermark", s.handleWatermark)
@@ -133,10 +148,23 @@ func New(st *store.Store, cfg Config) *Server {
 	return s
 }
 
-// Close stops the async-job subsystem: running jobs are cancelled through
-// their contexts and their scan workers exit mid-pass.
+// Close stops the async-job subsystem — running jobs are cancelled
+// through their contexts and their scan workers exit mid-pass — and, on
+// a cluster worker, the heartbeat agent (the coordinator notices through
+// lease expiry).
 func (s *Server) Close() {
+	if s.agent != nil {
+		s.agent.Stop()
+	}
 	s.jobs.Close()
+}
+
+// DrainLongPolls makes parked GET /v2/jobs/{id}?wait= requests answer
+// immediately (with their current snapshot) instead of waiting out their
+// timers. Register it with http.Server.RegisterOnShutdown so a graceful
+// drain is bounded by in-flight scan work, never by long-poll waits.
+func (s *Server) DrainLongPolls() {
+	s.jobs.Drain()
 }
 
 // Handler returns the root handler, with body limiting, structured
@@ -527,6 +555,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"uptime_seconds": int(time.Since(s.started).Seconds()),
 		"workers":        s.cfg.Workers,
 		"jobs":           s.jobs.Stats(),
+		"cluster":        s.clusterStatus(),
 	}
 	if s.cache != nil {
 		body["scanner_cache"] = s.cache.Stats()
