@@ -19,6 +19,11 @@
 // single-node scan. See internal/server for the endpoint reference,
 // internal/cluster for the protocol, README.md for a quickstart with
 // curl. SIGINT/SIGTERM drains in-flight requests before exiting.
+//
+// Every role serves Prometheus-format telemetry at GET /metrics and logs
+// structured lines (log/slog, -log-level) carrying the X-Request-ID that
+// correlates an API call with the shard scans it fans out; -pprof
+// additionally mounts net/http/pprof under /debug/pprof/.
 package main
 
 import (
@@ -28,6 +33,7 @@ import (
 	"os"
 
 	"repro/internal/cluster"
+	"repro/internal/obs"
 	"repro/internal/server"
 )
 
@@ -45,6 +51,8 @@ func main() {
 	workerID := flag.String("worker-id", "", "stable worker identity across restarts (default: the advertise URL)")
 	capacity := flag.Int("capacity", 0, "concurrent shards this worker scans (0 = 1)")
 	shardRows := flag.Int("shard-rows", 0, "suspect rows per dispatched shard when coordinating (0 = default)")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn or error")
+	enablePprof := flag.Bool("pprof", false, "mount /debug/pprof/ profiling endpoints")
 	flag.Parse()
 
 	if *coordinator && *join != "" {
@@ -66,6 +74,8 @@ func main() {
 		ScannerCacheEntries: *scannerCache,
 		JobWorkers:          *jobWorkers,
 		JobQueueDepth:       *jobQueue,
+		Log:                 obs.NewLogger(os.Stderr, obs.ParseLevel(*logLevel)),
+		EnablePprof:         *enablePprof,
 		Cluster: server.ClusterConfig{
 			Coordinator:  *coordinator,
 			Cluster:      cluster.Config{ShardRows: *shardRows},

@@ -35,7 +35,6 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"log"
 	"os"
 	"strings"
 	"time"
@@ -48,6 +47,7 @@ import (
 	"repro/internal/ecc"
 	"repro/internal/keyhash"
 	"repro/internal/mark"
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/relation"
 	"repro/internal/server"
@@ -556,6 +556,8 @@ func cmdServe(args []string) error {
 	scannerCache := fs.Int("scanner-cache", 0, "prepared-certificate cache entries (0 = default, negative = disable)")
 	jobWorkers := fs.Int("job-workers", 0, "concurrent async jobs (0 = default)")
 	jobQueue := fs.Int("job-queue", 0, "async job queue depth; beyond it POST /v2/jobs replies 429 (0 = default)")
+	logLevel := fs.String("log-level", "info", "log level: debug, info, warn or error")
+	enablePprof := fs.Bool("pprof", false, "mount /debug/pprof/ profiling endpoints")
 	fs.Parse(args)
 
 	return server.Run(*addr, *storeDir, server.Config{
@@ -564,7 +566,8 @@ func cmdServe(args []string) error {
 		ScannerCacheEntries: *scannerCache,
 		JobWorkers:          *jobWorkers,
 		JobQueueDepth:       *jobQueue,
-		Log:                 log.New(os.Stderr, "wmtool serve: ", log.LstdFlags),
+		Log:                 obs.NewLogger(os.Stderr, obs.ParseLevel(*logLevel)),
+		EnablePprof:         *enablePprof,
 	})
 }
 
@@ -817,6 +820,7 @@ func cmdAudit(args []string) error {
 	switch final.State {
 	case api.JobDone:
 		fmt.Fprintf(human, "job %s done in %s\n", final.ID, time.Since(start).Round(time.Millisecond))
+		printAuditSummary(human, final, time.Since(start))
 		if *jsonOut {
 			return writeJSONOut(final.VerifyBatch)
 		}
@@ -827,6 +831,32 @@ func cmdAudit(args []string) error {
 	default:
 		return fmt.Errorf("audit: job %s failed: %v", final.ID, final.Error)
 	}
+}
+
+// printAuditSummary renders the one-line audit roll-up: tuples scanned
+// (the job's progress counter), server-side wall time (StartedAt to
+// FinishedAt, falling back to the locally measured wait), and the
+// aggregate certificate-tuple throughput — each scanned tuple is checked
+// against every certificate in one pass, so cert·tuples/s is the figure
+// that stays comparable as the catalog grows. Written to the human
+// stream, so with -json it lands on stderr and stdout stays machine-pure.
+func printAuditSummary(human *os.File, final *api.Job, localElapsed time.Duration) {
+	wall := localElapsed
+	if final.StartedAt != nil && final.FinishedAt != nil {
+		if d := final.FinishedAt.Sub(*final.StartedAt); d > 0 {
+			wall = d
+		}
+	}
+	certs := 0
+	if final.VerifyBatch != nil {
+		certs = len(final.VerifyBatch.Results)
+	}
+	rate := 0.0
+	if secs := wall.Seconds(); secs > 0 {
+		rate = float64(final.Progress) * float64(certs) / secs
+	}
+	fmt.Fprintf(human, "audit summary: %d tuples x %d certificates in %s (%.0f cert·tuples/s)\n",
+		final.Progress, certs, wall.Round(time.Millisecond), rate)
 }
 
 // writeJSONOut renders v as indented JSON on stdout — the -json contract.

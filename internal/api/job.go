@@ -55,9 +55,10 @@ type Job struct {
 	FinishedAt *time.Time `json:"finished_at,omitempty"`
 	// Progress is the number of tuples the job has processed so far —
 	// live while the job runs (poll GET /v2/jobs/{id} to watch a corpus
-	// audit advance), final once it stops. Zero until the job starts
-	// work, and omitted for job kinds that do not meter themselves.
-	Progress int64 `json:"progress,omitempty"`
+	// audit advance), final once it stops. Always present — list items
+	// included, so dashboards render progress without an N+1 poll of
+	// every job — and zero until the job starts metering work.
+	Progress int64 `json:"progress"`
 	// Error is set when State is failed (why it failed) or cancelled
 	// (code "cancelled").
 	Error *Error `json:"error,omitempty"`

@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"repro/internal/api"
+	"repro/internal/obs"
 )
 
 // Client talks to one wmserver base URL. The zero value is not usable;
@@ -96,6 +97,12 @@ func (c *Client) exchange(req *http.Request, out any) error {
 // calls that read advertisement headers (long-poll discovery). Headers
 // are returned only on success.
 func (c *Client) exchangeHeader(req *http.Request, out any) (http.Header, error) {
+	// Propagate the caller's request ID (when its ctx carries one) so a
+	// coordinator's shard fan-out — and any other downstream hop — stays
+	// correlatable with the API call that caused it.
+	if id := obs.RequestID(req.Context()); id != "" && req.Header.Get(obs.RequestIDHeader) == "" {
+		req.Header.Set(obs.RequestIDHeader, id)
+	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("client: %w", err)

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"log/slog"
 	"net/http"
 	"sort"
 	"sync"
@@ -8,6 +9,7 @@ import (
 
 	"repro/internal/api"
 	"repro/internal/client"
+	"repro/internal/obs"
 )
 
 // Coordinator owns the cluster membership table and schedules shard
@@ -21,6 +23,11 @@ type Coordinator struct {
 	// httpClient builds each member's SDK client; tests substitute the
 	// httptest client.
 	httpClient *http.Client
+	// log receives membership transitions and shard dispatch events;
+	// defaults to a discard logger.
+	log *slog.Logger
+	// met is the telemetry bundle, nil without WithObs.
+	met *metrics
 
 	mu      sync.Mutex
 	members map[string]*member
@@ -62,6 +69,7 @@ func NewCoordinator(cfg Config, opts ...CoordinatorOption) *Coordinator {
 		cfg:        cfg,
 		now:        time.Now,
 		httpClient: http.DefaultClient,
+		log:        obs.Discard(),
 		members:    make(map[string]*member),
 		scans:      make(map[*scan]struct{}),
 	}
@@ -91,6 +99,7 @@ func (c *Coordinator) Register(reg api.WorkerRegistration) api.WorkerAck {
 		m = &member{id: id}
 		c.members[id] = m
 	}
+	revived := ok && m.unreachable
 	if m.url != reg.URL || m.client == nil {
 		m.url = reg.URL
 		m.client = client.New(reg.URL, client.WithHTTPClient(c.httpClient))
@@ -98,9 +107,22 @@ func (c *Coordinator) Register(reg api.WorkerRegistration) api.WorkerAck {
 	m.capacity = capacity
 	m.lastSeen = c.now()
 	m.unreachable = false
-	c.pruneLocked()
+	pruned := c.pruneLocked()
 	scans := c.activeScansLocked()
 	c.mu.Unlock()
+
+	switch {
+	case !ok:
+		c.met.transition("join")
+		c.log.Info("cluster: worker joined", "worker", id, "url", reg.URL, "capacity", capacity)
+	case revived:
+		c.met.transition("revive")
+		c.log.Info("cluster: worker revived", "worker", id)
+	}
+	for _, p := range pruned {
+		c.met.transition("prune")
+		c.log.Info("cluster: worker pruned after expired lease", "worker", p)
+	}
 
 	// A new or revived worker is fresh dispatch capacity — wake every
 	// in-flight scan so parked shards get handed to it.
@@ -121,13 +143,18 @@ func (c *Coordinator) liveLocked(m *member) bool {
 // pruneLocked drops members whose lease expired long ago (10×TTL) so the
 // table does not accumulate every worker that ever joined. Members with
 // in-flight shards are kept — their scan goroutines still hold them.
-func (c *Coordinator) pruneLocked() {
+// Returns the pruned IDs so the caller can log and count them outside
+// the lock.
+func (c *Coordinator) pruneLocked() []string {
 	cutoff := c.now().Add(-10 * c.cfg.ttl())
+	var pruned []string
 	for id, m := range c.members {
 		if m.active == 0 && m.lastSeen.Before(cutoff) {
 			delete(c.members, id)
+			pruned = append(pruned, id)
 		}
 	}
+	return pruned
 }
 
 // LiveWorkers counts workers with a current lease — the signal the
@@ -227,6 +254,10 @@ func (c *Coordinator) release(m *member, unreachable bool) {
 	}
 	scans := c.activeScansLocked()
 	c.mu.Unlock()
+	if unreachable {
+		c.met.transition("unreachable")
+		c.log.Warn("cluster: worker unreachable, excluded until next heartbeat", "worker", m.id)
+	}
 	for _, s := range scans {
 		s.wake()
 	}

@@ -7,10 +7,12 @@ import (
 	"io"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/api"
 	"repro/internal/core"
 	"repro/internal/mark"
+	"repro/internal/obs"
 	"repro/internal/relation"
 )
 
@@ -342,7 +344,21 @@ func (s *scan) dispatch() error {
 // outcome: park the decoded tallies on success, requeue (avoiding this
 // worker) on failure, fail the scan once the shard's attempts are spent.
 func (s *scan) runShard(task *shardTask, m *member) {
+	if met := s.c.met; met != nil {
+		met.dispatched.With(m.id).Inc()
+	}
+	s.c.log.Debug("cluster: shard dispatched",
+		"request_id", obs.RequestID(s.ctx), "shard", task.idx, "rows", task.rows,
+		"worker", m.id, "attempt", task.attempts+1)
+	start := time.Now()
 	tallies, err := s.callWorker(task, m)
+	elapsed := time.Since(start)
+	if met := s.c.met; met != nil {
+		met.latency.With(m.id).Observe(elapsed.Seconds())
+		if err != nil && s.ctx.Err() == nil {
+			met.failures.With(m.id).Inc()
+		}
+	}
 
 	// A transport-level failure (connection refused/reset, timeout) marks
 	// the worker unreachable immediately. An api.Error — or a response
@@ -359,6 +375,7 @@ func (s *scan) runShard(task *shardTask, m *member) {
 		s.job.Progress(task.rows)
 	}
 
+	attempt := 0
 	s.mu.Lock()
 	s.inflight--
 	switch {
@@ -369,15 +386,24 @@ func (s *scan) runShard(task *shardTask, m *member) {
 		// is only waiting for in-flight RPCs to unwind.
 	default:
 		task.attempts++
+		attempt = task.attempts
 		task.failed[m.id] = true
 		if task.attempts >= s.c.cfg.maxShardAttempts() {
 			s.failLocked(fmt.Errorf("cluster: shard %d failed on %d workers, last error: %w",
 				task.idx, task.attempts, err))
 		} else {
 			s.pending = append(s.pending, task)
+			if met := s.c.met; met != nil {
+				met.retries.With(m.id).Inc()
+			}
 		}
 	}
 	s.mu.Unlock()
+	if attempt > 0 {
+		s.c.log.Warn("cluster: shard attempt failed",
+			"request_id", obs.RequestID(s.ctx), "shard", task.idx, "worker", m.id,
+			"attempt", attempt, "duration", elapsed, "err", err)
+	}
 	s.wake()
 	s.wakeFeeder() // a parked reader re-checks for failure (or freed room)
 }

@@ -3,7 +3,7 @@ package cluster
 import (
 	"context"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"strings"
 	"sync"
@@ -13,6 +13,7 @@ import (
 	"repro/internal/client"
 	"repro/internal/core"
 	"repro/internal/mark"
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/relation"
 )
@@ -108,7 +109,10 @@ type Agent struct {
 	coordinator string
 	reg         api.WorkerRegistration
 	client      *client.Client
-	log         *log.Logger
+	log         *slog.Logger
+	// beats counts registration attempts by result ("ok"/"error"), nil
+	// without WithAgentObs.
+	beats *obs.CounterVec
 
 	stop   context.CancelFunc
 	done   chan struct{}
@@ -129,8 +133,17 @@ func WithAgentHTTPClient(hc *http.Client) AgentOption {
 
 // WithAgentLogger routes membership transitions (joined, heartbeat
 // failing, recovered) to l.
-func WithAgentLogger(l *log.Logger) AgentOption {
+func WithAgentLogger(l *slog.Logger) AgentOption {
 	return func(a *Agent) { a.log = l }
+}
+
+// WithAgentObs registers the agent's wm_cluster_heartbeats_total
+// family on r, counting registration attempts by result.
+func WithAgentObs(r *obs.Registry) AgentOption {
+	return func(a *Agent) {
+		a.beats = r.CounterVec("wm_cluster_heartbeats_total",
+			"Heartbeat registrations sent to the coordinator, by result.", "result")
+	}
 }
 
 // withBeatHook observes registration attempts (tests only).
@@ -180,16 +193,23 @@ func (a *Agent) observe(err error) {
 		a.joined = true
 	}
 	a.mu.Unlock()
+	if a.beats != nil {
+		result := "ok"
+		if err != nil {
+			result = "error"
+		}
+		a.beats.With(result).Inc()
+	}
 	if a.log == nil {
 		return
 	}
 	switch {
 	case err == nil && !wasJoined:
-		a.log.Printf("cluster: joined coordinator %s as %q", a.coordinator, a.reg.URL)
+		a.log.Info("cluster: joined coordinator", "coordinator", a.coordinator, "advertise", a.reg.URL, "worker", a.reg.ID)
 	case err == nil && prev != nil:
-		a.log.Printf("cluster: heartbeat to %s recovered", a.coordinator)
+		a.log.Info("cluster: heartbeat recovered", "coordinator", a.coordinator)
 	case err != nil && (prev == nil || prev.Error() != err.Error()):
-		a.log.Printf("cluster: heartbeat to %s failing: %v", a.coordinator, err)
+		a.log.Warn("cluster: heartbeat failing", "coordinator", a.coordinator, "err", err)
 	}
 }
 

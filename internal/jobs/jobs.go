@@ -29,6 +29,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // State is a job's lifecycle state. The spellings match api.JobState —
@@ -62,12 +64,19 @@ type Func func(ctx context.Context, p *Progress) (any, error)
 // ready to use.
 type Progress struct {
 	tuples atomic.Int64
+	// sink, when set, receives every Add as well — the manager points it
+	// at the aggregate wm_jobs_tuples_scanned_total counter so the scan
+	// rate across all jobs is one series.
+	sink *obs.Counter
 }
 
 // Add records n more units of completed work. Safe for concurrent use —
 // pipeline workers call it once per scanned block.
 func (p *Progress) Add(n int) {
 	p.tuples.Add(int64(n))
+	if p.sink != nil && n > 0 {
+		p.sink.Add(uint64(n))
+	}
 }
 
 // Tuples reports the work counted so far.
@@ -126,6 +135,11 @@ type Config struct {
 	// DefaultRetain. The oldest finished jobs are evicted first; queued
 	// and running jobs are never evicted.
 	Retain int
+	// Obs, when non-nil, registers the wm_jobs_* metric families there:
+	// occupancy gauges sampled from Stats, queue-wait and run-time
+	// histograms, terminal-outcome counters, and the aggregate
+	// tuples-scanned counter fed by every job's Progress.
+	Obs *obs.Registry
 }
 
 // Defaults for Config's zero values.
@@ -174,6 +188,9 @@ type Manager struct {
 	// drain.
 	draining  chan struct{}
 	drainOnce sync.Once
+
+	// met is the telemetry bundle; nil when Config.Obs was unset.
+	met *metrics
 }
 
 // NewManager starts cfg.Workers worker goroutines and returns the
@@ -197,6 +214,9 @@ func NewManager(cfg Config) *Manager {
 		jobs:     make(map[string]*job),
 		changed:  make(chan struct{}),
 		draining: make(chan struct{}),
+	}
+	if cfg.Obs != nil {
+		m.met = newMetrics(cfg.Obs, m)
 	}
 	for w := 0; w < cfg.Workers; w++ {
 		m.wg.Add(1)
@@ -229,6 +249,9 @@ func (m *Manager) Submit(kind string, fn Func) (Snapshot, error) {
 		fn:      fn,
 		state:   StateQueued,
 		created: time.Now(),
+	}
+	if m.met != nil {
+		j.progress.sink = m.met.tuples
 	}
 
 	m.mu.Lock()
@@ -285,6 +308,9 @@ func (m *Manager) run(j *job) {
 	j.started = time.Now()
 	j.cancel = cancel
 	fn := j.fn
+	if m.met != nil {
+		m.met.queueWait.Observe(j.started.Sub(j.created).Seconds())
+	}
 	m.notifyLocked()
 	m.mu.Unlock()
 
@@ -309,6 +335,10 @@ func (m *Manager) run(j *job) {
 	default:
 		j.state = StateDone
 		j.result = result
+	}
+	m.met.outcome(j.kind, j.state)
+	if m.met != nil {
+		m.met.runTime.With(j.kind).Observe(j.finished.Sub(j.started).Seconds())
 	}
 }
 
@@ -400,6 +430,7 @@ func (m *Manager) Cancel(id string) (Snapshot, error) {
 		j.err = context.Canceled
 		j.finished = time.Now()
 		j.fn = nil
+		m.met.outcome(j.kind, j.state)
 		m.notifyLocked()
 	case StateRunning:
 		if j.cancel != nil {
@@ -452,6 +483,7 @@ func (m *Manager) Close() {
 			j.err = context.Canceled
 			j.finished = time.Now()
 			j.fn = nil
+			m.met.outcome(j.kind, j.state)
 		}
 	}
 	m.notifyLocked()

@@ -1,0 +1,52 @@
+package jobs
+
+import "repro/internal/obs"
+
+// metrics is the manager's telemetry bundle, nil when Config.Obs is
+// unset (library users and most unit tests). Occupancy gauges are
+// sampled from Stats() at scrape time so /metrics and /healthz read the
+// same numbers; transitions and durations are recorded at the moment
+// they happen.
+type metrics struct {
+	queueWait *obs.Histogram    // created → started
+	runTime   *obs.HistogramVec // started → finished, by kind
+	outcomes  *obs.CounterVec   // kind, terminal state
+	tuples    *obs.Counter      // aggregate Progress across all jobs
+}
+
+func newMetrics(r *obs.Registry, m *Manager) *metrics {
+	met := &metrics{
+		queueWait: r.Histogram("wm_jobs_queue_wait_seconds",
+			"Time jobs spent queued before a worker picked them up.", obs.WideBuckets),
+		runTime: r.HistogramVec("wm_jobs_run_seconds",
+			"Job execution time from start to terminal state, by job kind.", obs.WideBuckets, "kind"),
+		outcomes: r.CounterVec("wm_jobs_total",
+			"Jobs reaching a terminal state, by kind and state.", "kind", "state"),
+		tuples: r.Counter("wm_jobs_tuples_scanned_total",
+			"Suspect tuples processed across all jobs' progress counters."),
+	}
+	sample := func(pick func(Stats) int) func(emit obs.Emit) {
+		return func(emit obs.Emit) { emit(float64(pick(m.Stats()))) }
+	}
+	r.Sampled("wm_jobs_workers", "Job worker pool size.", obs.TypeGauge,
+		sample(func(s Stats) int { return s.Workers }))
+	r.Sampled("wm_jobs_queued", "Jobs queued but not yet running.", obs.TypeGauge,
+		sample(func(s Stats) int { return s.Queued }))
+	r.Sampled("wm_jobs_running", "Jobs currently running.", obs.TypeGauge,
+		sample(func(s Stats) int { return s.Running }))
+	r.Sampled("wm_jobs_retained", "Jobs held in the retention table.", obs.TypeGauge,
+		sample(func(s Stats) int { return s.Retained }))
+	r.Sampled("wm_jobs_queue_capacity", "Job queue capacity.", obs.TypeGauge,
+		sample(func(s Stats) int { return s.QueueCap }))
+	r.Sampled("wm_jobs_retain_capacity", "Job retention capacity.", obs.TypeGauge,
+		sample(func(s Stats) int { return s.RetainCap }))
+	return met
+}
+
+// outcome counts a terminal transition; nil-safe so call sites stay
+// unconditional.
+func (met *metrics) outcome(kind string, state State) {
+	if met != nil {
+		met.outcomes.With(kind, string(state)).Inc()
+	}
+}

@@ -95,6 +95,8 @@ func newPortableKernel(k Key) *portableKernel {
 // long for the one-shot buffer fall back to the streaming construct,
 // exactly like Hasher.HashString.
 func (p *portableKernel) HashMany(values []string, out []Digest) {
+	portableCalls.Add(1)
+	portableValues.Add(uint64(len(values)))
 	_ = out[:len(values)] // one bounds check up front
 	var buf [oneShotMax]byte
 	prefixLen := copy(buf[:], p.h.prefix)

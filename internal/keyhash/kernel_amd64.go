@@ -102,6 +102,8 @@ func (m *multiKernel) fill(buf *[laneBytes]byte, v string, blocks int) {
 // Hasher; values beyond the lane width use the streaming construct. The
 // digests are bit-identical to Hash/HashString in every case.
 func (m *multiKernel) HashMany(values []string, out []Digest) {
+	multiCalls.Add(1)
+	multiValues.Add(uint64(len(values)))
 	_ = out[:len(values)] // one bounds check up front
 	var b0, b1 [laneBytes]byte
 	pending := [3]int{-1, -1, -1} // pending value index per block count

@@ -1,0 +1,30 @@
+package keyhash
+
+import "sync/atomic"
+
+// Process-wide kernel invocation counters, one pair per backend. They
+// back the wm_keyhash_* sampled families in /metrics: two atomic adds
+// per HashMany call (i.e. per block lane, not per value), so the hash
+// hot loop itself is untouched.
+var (
+	portableCalls  atomic.Uint64
+	portableValues atomic.Uint64
+	multiCalls     atomic.Uint64
+	multiValues    atomic.Uint64
+)
+
+// KernelCounters is the cumulative HashMany activity of one backend.
+type KernelCounters struct {
+	Calls  uint64 // HashMany invocations
+	Values uint64 // key values hashed across those calls
+}
+
+// KernelStats reports per-backend HashMany totals for this process,
+// keyed by the concrete kernel kind (KernelAuto resolves to whichever
+// backend it picked, so it never appears as a key).
+func KernelStats() map[KernelKind]KernelCounters {
+	return map[KernelKind]KernelCounters{
+		KernelPortable:    {Calls: portableCalls.Load(), Values: portableValues.Load()},
+		KernelMultiBuffer: {Calls: multiCalls.Load(), Values: multiValues.Load()},
+	}
+}

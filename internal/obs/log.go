@@ -1,0 +1,34 @@
+package obs
+
+import (
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// NewLogger returns a text-format slog logger writing to w at the given
+// level — the one logger constructor shared by wmserver, wmtool serve,
+// and tests so log lines stay uniform across all three processes of a
+// cluster.
+func NewLogger(w io.Writer, level slog.Level) *slog.Logger {
+	return slog.New(slog.NewTextHandler(w, &slog.HandlerOptions{Level: level}))
+}
+
+// Discard returns a logger that drops everything; used where a nil
+// check at every call site would be noisier than a no-op handler.
+func Discard() *slog.Logger { return slog.New(slog.DiscardHandler) }
+
+// ParseLevel maps a -log-level flag value to a slog.Level, defaulting
+// to Info for unknown strings.
+func ParseLevel(s string) slog.Level {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return slog.LevelDebug
+	case "warn", "warning":
+		return slog.LevelWarn
+	case "error":
+		return slog.LevelError
+	default:
+		return slog.LevelInfo
+	}
+}

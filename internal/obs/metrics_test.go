@@ -1,0 +1,241 @@
+package obs
+
+import (
+	"context"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestGoldenExposition pins the exact Prometheus text rendering:
+// family ordering, HELP/TYPE lines, series ordering, histogram
+// cumulative buckets with +Inf/_sum/_count, and label escaping.
+func TestGoldenExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total", "Plain counter.").Add(7)
+	v := r.CounterVec("a_total", "Labeled counter.", "worker")
+	v.With("w2").Add(2)
+	v.With(`esc"quote\slash` + "\nline").Inc()
+	r.Gauge("c_gauge", "A gauge.").Set(-3)
+	h := r.Histogram("d_seconds", "A histogram.", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(0.5)
+	h.Observe(5)
+	r.Sampled("e_info", "Sampled gauge.", TypeGauge, func(emit Emit) {
+		emit(1.5, "z")
+		emit(0.25, "a")
+	}, "shard")
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP a_total Labeled counter.
+# TYPE a_total counter
+a_total{worker="esc\"quote\\slash\nline"} 1
+a_total{worker="w2"} 2
+# HELP b_total Plain counter.
+# TYPE b_total counter
+b_total 7
+# HELP c_gauge A gauge.
+# TYPE c_gauge gauge
+c_gauge -3
+# HELP d_seconds A histogram.
+# TYPE d_seconds histogram
+d_seconds_bucket{le="0.1"} 1
+d_seconds_bucket{le="1"} 3
+d_seconds_bucket{le="+Inf"} 4
+d_seconds_sum 6.05
+d_seconds_count 4
+# HELP e_info Sampled gauge.
+# TYPE e_info gauge
+e_info{shard="a"} 0.25
+e_info{shard="z"} 1.5
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+var (
+	helpRe   = regexp.MustCompile(`^# HELP ([a-zA-Z_:][a-zA-Z0-9_:]*) .+$`)
+	typeRe   = regexp.MustCompile(`^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram)$`)
+	sampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (-?[0-9.e+]+|[+-]Inf|NaN)$`)
+)
+
+// TestExpositionParsesLineByLine walks a busy registry's output and
+// checks every line is a well-formed HELP, TYPE, or sample line, that
+// HELP immediately precedes TYPE, and that every sample belongs to the
+// most recently declared family.
+func TestExpositionParsesLineByLine(t *testing.T) {
+	r := NewRegistry()
+	NewHTTPMetrics(r).Observe("GET /v2/jobs", "GET", 200, 12*time.Millisecond, 512)
+	r.CounterVec("wm_jobs_total", "Jobs.", "kind", "state").With("verify_batch", "done").Inc()
+	r.Histogram("wm_jobs_queue_wait_seconds", "Queue wait.", WideBuckets).Observe(0.002)
+	r.Sampled("wm_uptime_seconds", "Uptime.", TypeGauge, func(emit Emit) { emit(12.75) })
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(b.String(), "\n"), "\n")
+	if len(lines) < 10 {
+		t.Fatalf("suspiciously short output:\n%s", b.String())
+	}
+	var curFam string
+	var lastHelp string
+	for i, line := range lines {
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			m := helpRe.FindStringSubmatch(line)
+			if m == nil {
+				t.Fatalf("line %d: malformed HELP: %q", i+1, line)
+			}
+			lastHelp = m[1]
+		case strings.HasPrefix(line, "# TYPE "):
+			m := typeRe.FindStringSubmatch(line)
+			if m == nil {
+				t.Fatalf("line %d: malformed TYPE: %q", i+1, line)
+			}
+			if m[1] != lastHelp {
+				t.Fatalf("line %d: TYPE %s not preceded by its HELP (last HELP %s)", i+1, m[1], lastHelp)
+			}
+			if curFam != "" && m[1] <= curFam {
+				t.Fatalf("line %d: family %s not sorted after %s", i+1, m[1], curFam)
+			}
+			curFam = m[1]
+		default:
+			m := sampleRe.FindStringSubmatch(line)
+			if m == nil {
+				t.Fatalf("line %d: malformed sample: %q", i+1, line)
+			}
+			name := m[1]
+			base := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(name, "_bucket"), "_sum"), "_count")
+			if name != curFam && base != curFam {
+				t.Fatalf("line %d: sample %s outside its family block (current %s)", i+1, name, curFam)
+			}
+			if _, err := strconv.ParseFloat(m[3], 64); err != nil && m[3] != "+Inf" && m[3] != "-Inf" && m[3] != "NaN" {
+				t.Fatalf("line %d: bad value %q", i+1, m[3])
+			}
+		}
+	}
+}
+
+// TestHistogramBucketsCumulative checks bucket counts are cumulative
+// and bounded by _count even under concurrent observation.
+func TestHistogramBucketsCumulative(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", "x", []float64{0.01, 0.1, 1})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(float64(i%200) / 100)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Fatalf("count %d, want 8000", h.Count())
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	var prev uint64
+	for _, line := range strings.Split(b.String(), "\n") {
+		if !strings.HasPrefix(line, "lat_bucket") {
+			continue
+		}
+		n, err := strconv.ParseUint(line[strings.LastIndexByte(line, ' ')+1:], 10, 64)
+		if err != nil {
+			t.Fatalf("parse %q: %v", line, err)
+		}
+		if n < prev {
+			t.Fatalf("bucket counts not cumulative: %d after %d in\n%s", n, prev, b.String())
+		}
+		prev = n
+	}
+	if prev != 8000 {
+		t.Fatalf("+Inf bucket %d, want 8000", prev)
+	}
+}
+
+// TestConcurrentScrapeAndMutate hammers every metric kind while
+// scraping — run under -race this is the registry's data-race proof.
+func TestConcurrentScrapeAndMutate(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "c")
+	cv := r.CounterVec("cv_total", "cv", "k")
+	g := r.Gauge("g", "g")
+	h := r.Histogram("h_seconds", "h", DefBuckets)
+	r.Sampled("s", "s", TypeGauge, func(emit Emit) { emit(float64(c.Value())) })
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; ; j++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c.Inc()
+				cv.With(strconv.Itoa(j % 5)).Add(2)
+				g.Add(int64(i - 2))
+				h.Observe(float64(j%100) / 1000)
+			}
+		}(i)
+	}
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				var b strings.Builder
+				if err := r.WritePrometheus(&b); err != nil {
+					t.Error(err)
+					return
+				}
+				if len(r.Snapshot()) == 0 {
+					t.Error("empty snapshot")
+					return
+				}
+			}
+		}()
+	}
+	time.Sleep(20 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+}
+
+func TestRequestID(t *testing.T) {
+	a, b := NewRequestID(), NewRequestID()
+	if len(a) != 16 || a == b {
+		t.Fatalf("bad request IDs: %q %q", a, b)
+	}
+	ctx := WithRequestID(context.Background(), a)
+	if got := RequestID(ctx); got != a {
+		t.Fatalf("round-trip: got %q want %q", got, a)
+	}
+	if got := RequestID(context.Background()); got != "" {
+		t.Fatalf("empty ctx: got %q", got)
+	}
+}
+
+func TestStatusClass(t *testing.T) {
+	for code, want := range map[int]string{200: "2xx", 204: "2xx", 301: "3xx", 404: "4xx", 500: "5xx", 99: "other"} {
+		if got := StatusClass(code); got != want {
+			t.Errorf("StatusClass(%d) = %q, want %q", code, got, want)
+		}
+	}
+}

@@ -1,0 +1,36 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+)
+
+// RequestIDHeader carries the per-request correlation ID on every API
+// response and on coordinator→worker /v2/internal/scan fan-out, so one
+// audit's shards can be traced across all three processes' logs.
+const RequestIDHeader = "X-Request-ID"
+
+type reqIDKey struct{}
+
+// NewRequestID returns a fresh 16-hex-char random request ID.
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is unrecoverable for the process anyway;
+		// fall back to a fixed marker rather than panicking in middleware.
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// WithRequestID attaches a request ID to ctx.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, reqIDKey{}, id)
+}
+
+// RequestID returns the request ID attached to ctx, or "".
+func RequestID(ctx context.Context) string {
+	id, _ := ctx.Value(reqIDKey{}).(string)
+	return id
+}

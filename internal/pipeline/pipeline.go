@@ -101,9 +101,17 @@ func (c Config) blockRows() int {
 	return mark.DefaultBlockRows
 }
 
-// report ticks the progress hook, if any.
+// report ticks the progress hook, if any, and the process-wide scan
+// counters (see Stats). One call per scan block keeps the cost to two
+// atomic adds per DefaultBlockRows tuples — invisible next to the
+// keyed-hash work inside the block.
 func (c Config) report(tuples int) {
-	if c.Progress != nil && tuples > 0 {
+	if tuples <= 0 {
+		return
+	}
+	statTuples.Add(uint64(tuples))
+	statBlocks.Add(1)
+	if c.Progress != nil {
 		c.Progress(tuples)
 	}
 }

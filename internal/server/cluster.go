@@ -59,7 +59,7 @@ func (s *Server) Join() {
 	if capacity <= 0 {
 		capacity = 1
 	}
-	var opts []cluster.AgentOption
+	opts := []cluster.AgentOption{cluster.WithAgentObs(s.obs)}
 	if s.cfg.Log != nil {
 		opts = append(opts, cluster.WithAgentLogger(s.cfg.Log))
 	}

@@ -14,12 +14,21 @@ import (
 
 	"repro/internal/api"
 	"repro/internal/jobs"
+	"repro/internal/obs"
 )
 
 func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 	var req api.JobRequest
 	if !decodeBody(w, r, &req) {
 		return
+	}
+	// The job outlives this request, but its work should stay
+	// correlatable with the submission: re-attach the submitting
+	// request's ID to the job context the manager hands the Func, so a
+	// coordinator's shard fan-out carries it to every worker.
+	reqID := obs.RequestID(r.Context())
+	withReqID := func(ctx context.Context) context.Context {
+		return obs.WithRequestID(ctx, reqID)
 	}
 	var fn jobs.Func
 	switch req.Kind {
@@ -31,7 +40,7 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 		}
 		payload := *req.Watermark
 		fn = func(ctx context.Context, p *jobs.Progress) (any, error) {
-			resp, aerr := s.execWatermark(ctx, payload, p.Add)
+			resp, aerr := s.execWatermark(withReqID(ctx), payload, p.Add)
 			if aerr != nil {
 				return nil, aerr
 			}
@@ -45,7 +54,7 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 		}
 		payload := *req.VerifyBatch
 		fn = func(ctx context.Context, p *jobs.Progress) (any, error) {
-			resp, aerr := s.execVerifyBatch(ctx, payload, p.Add)
+			resp, aerr := s.execVerifyBatch(withReqID(ctx), payload, p.Add)
 			if aerr != nil {
 				return nil, aerr
 			}

@@ -3,7 +3,7 @@ package server
 import (
 	"context"
 	"errors"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -11,6 +11,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/server/store"
 )
 
@@ -25,7 +26,7 @@ func Run(addr, storeDir string, cfg Config) error {
 		return err
 	}
 	if cfg.Log == nil {
-		cfg.Log = log.New(os.Stderr, "wmserver: ", log.LstdFlags)
+		cfg.Log = obs.NewLogger(os.Stderr, slog.LevelInfo)
 	}
 	srv := New(st, cfg)
 	defer srv.Close()
@@ -43,7 +44,7 @@ func Run(addr, storeDir string, cfg Config) error {
 	if workers <= 0 {
 		workers = runtime.NumCPU()
 	}
-	cfg.Log.Printf("listening on %s (store %s, %d workers)", addr, storeDir, workers)
+	cfg.Log.Info("listening", "addr", addr, "store", storeDir, "workers", workers)
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
@@ -60,7 +61,7 @@ func Run(addr, storeDir string, cfg Config) error {
 	case err := <-errCh:
 		return err
 	case s := <-sig:
-		cfg.Log.Printf("received %v, shutting down", s)
+		cfg.Log.Info("shutting down", "signal", s.String())
 		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 		defer cancel()
 		if err := httpSrv.Shutdown(ctx); err != nil {

@@ -46,7 +46,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"mime"
 	"net/http"
 	"runtime"
@@ -58,6 +58,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/jobs"
+	"repro/internal/obs"
 	"repro/internal/relation"
 	"repro/internal/server/store"
 )
@@ -89,8 +90,12 @@ type Config struct {
 	// default): a coordinator fans verify_batch audits out across joined
 	// workers, a worker heartbeats a coordinator and serves shard scans.
 	Cluster ClusterConfig
-	// Log, when non-nil, receives one line per request.
-	Log *log.Logger
+	// Log, when non-nil, receives one structured line per request (with
+	// its request ID) plus cluster membership and dispatch events.
+	Log *slog.Logger
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ (wmserver
+	// -pprof). Off by default: profiles expose process internals.
+	EnablePprof bool
 }
 
 // Server handles the HTTP API. Create with New, serve via Handler, and
@@ -104,6 +109,10 @@ type Server struct {
 	agent   *cluster.Agent       // nil until Join on a worker
 	mux     *http.ServeMux
 	started time.Time
+	// obs is this server's metrics registry — every subsystem registers
+	// into it, GET /metrics renders it, /healthz snapshots it.
+	obs     *obs.Registry
+	httpMet *obs.HTTPMetrics
 }
 
 // New builds a Server over an opened record store.
@@ -115,23 +124,35 @@ func New(st *store.Store, cfg Config) *Server {
 		cfg.MaxBodyBytes = DefaultMaxBodyBytes
 	}
 	s := &Server{store: st, cfg: cfg, mux: http.NewServeMux(), started: time.Now()}
+	s.obs = obs.NewRegistry()
+	s.httpMet = obs.NewHTTPMetrics(s.obs)
 	if cfg.ScannerCacheEntries >= 0 {
 		s.cache = core.NewScannerCache(cfg.ScannerCacheEntries)
 	}
+	s.registerProcessMetrics()
 	s.jobs = jobs.NewManager(jobs.Config{
 		Workers:    cfg.JobWorkers,
 		QueueDepth: cfg.JobQueueDepth,
 		Retain:     cfg.JobRetain,
+		Obs:        s.obs,
 	})
 	// Every server executes shards; only a coordinator takes
 	// registrations (elsewhere the route 404s, so a stray -join against a
 	// non-coordinator fails loudly instead of silently heartbeating).
 	s.mux.HandleFunc("POST /v2/internal/scan", s.handleInternalScan)
 	if cfg.Cluster.Coordinator {
-		s.coord = cluster.NewCoordinator(cfg.Cluster.Cluster)
+		copts := []cluster.CoordinatorOption{cluster.WithObs(s.obs)}
+		if cfg.Log != nil {
+			copts = append(copts, cluster.WithLogger(cfg.Log))
+		}
+		s.coord = cluster.NewCoordinator(cfg.Cluster.Cluster, copts...)
 		s.mux.HandleFunc("POST /v2/internal/workers", s.handleRegisterWorker)
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if cfg.EnablePprof {
+		s.mountPprof()
+	}
 	for _, v := range []string{"/v1", "/v2"} {
 		s.mux.HandleFunc("POST "+v+"/watermark", s.handleWatermark)
 		s.mux.HandleFunc("POST "+v+"/verify", s.handleVerify)
@@ -167,21 +188,43 @@ func (s *Server) DrainLongPolls() {
 	s.jobs.Drain()
 }
 
-// Handler returns the root handler, with body limiting, structured
-// 404/405 replies, and logging.
+// Handler returns the root handler — the one middleware every request
+// crosses: request-ID assignment (honoring an inbound X-Request-ID so a
+// coordinator's fan-out stays correlated), body limiting, per-route
+// metrics, structured 404/405 replies, and structured logging.
 func (s *Server) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
-		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
-		if _, pattern := s.mux.Handler(r); pattern == "" {
+		reqID := r.Header.Get(obs.RequestIDHeader)
+		if reqID == "" {
+			reqID = obs.NewRequestID()
+		}
+		r = r.WithContext(obs.WithRequestID(r.Context(), reqID))
+		w.Header().Set(obs.RequestIDHeader, reqID)
+		rec := &obs.ResponseRecorder{ResponseWriter: w}
+		r.Body = http.MaxBytesReader(rec, r.Body, s.cfg.MaxBodyBytes)
+		_, pattern := s.mux.Handler(r)
+		s.httpMet.InFlight.Inc()
+		if pattern == "" {
 			// The mux default would reply with an empty-bodied 404/405;
 			// every error this API emits carries the envelope instead.
-			s.handleUnmatched(w, r)
+			s.handleUnmatched(rec, r)
 		} else {
-			s.mux.ServeHTTP(w, r)
+			s.mux.ServeHTTP(rec, r)
 		}
+		s.httpMet.InFlight.Dec()
+		elapsed := time.Since(start)
+		route := routeLabel(pattern)
+		s.httpMet.Observe(route, r.Method, rec.Status(), elapsed, rec.Bytes())
 		if s.cfg.Log != nil {
-			s.cfg.Log.Printf("%s %s %s", r.Method, r.URL.Path, time.Since(start))
+			s.cfg.Log.LogAttrs(r.Context(), slog.LevelInfo, "request",
+				slog.String("request_id", reqID),
+				slog.String("method", r.Method),
+				slog.String("path", r.URL.Path),
+				slog.String("route", route),
+				slog.Int("status", rec.Status()),
+				slog.Int64("bytes", rec.Bytes()),
+				slog.Duration("duration", elapsed))
 		}
 	})
 }
@@ -549,16 +592,33 @@ func (s *Server) handleListRecordsV2(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, page)
 }
 
+// handleHealthz is a thin view over the metrics registry: every numeric
+// field is read from the same Snapshot that GET /metrics renders, so
+// the two surfaces cannot drift. (The cluster block keeps its
+// structured role/membership shape; its numbers come from the same
+// membership table the wm_cluster_* sampled families read.)
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	snap := s.obs.Snapshot()
 	body := map[string]any{
 		"status":         "ok",
-		"uptime_seconds": int(time.Since(s.started).Seconds()),
+		"uptime_seconds": int(snap["wm_uptime_seconds"]),
 		"workers":        s.cfg.Workers,
-		"jobs":           s.jobs.Stats(),
-		"cluster":        s.clusterStatus(),
+		"jobs": jobs.Stats{
+			Workers:   int(snap["wm_jobs_workers"]),
+			Queued:    int(snap["wm_jobs_queued"]),
+			Running:   int(snap["wm_jobs_running"]),
+			Retained:  int(snap["wm_jobs_retained"]),
+			QueueCap:  int(snap["wm_jobs_queue_capacity"]),
+			RetainCap: int(snap["wm_jobs_retain_capacity"]),
+		},
+		"cluster": s.clusterStatus(),
 	}
 	if s.cache != nil {
-		body["scanner_cache"] = s.cache.Stats()
+		body["scanner_cache"] = core.CacheStats{
+			Entries: int(snap["wm_scanner_cache_entries"]),
+			Hits:    uint64(snap["wm_scanner_cache_hits_total"]),
+			Misses:  uint64(snap["wm_scanner_cache_misses_total"]),
+		}
 	}
 	writeJSON(w, http.StatusOK, body)
 }
