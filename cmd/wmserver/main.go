@@ -31,8 +31,10 @@ import (
 	"fmt"
 	"net"
 	"os"
+	"strconv"
 
 	"repro/internal/cluster"
+	"repro/internal/keyhash"
 	"repro/internal/obs"
 	"repro/internal/server"
 )
@@ -50,7 +52,9 @@ func main() {
 	advertise := flag.String("advertise", "", "base URL the coordinator reaches this worker at (default derives http://127.0.0.1:<port> from -addr)")
 	workerID := flag.String("worker-id", "", "stable worker identity across restarts (default: the advertise URL)")
 	capacity := flag.Int("capacity", 0, "concurrent shards this worker scans (0 = 1)")
-	shardRows := flag.Int("shard-rows", 0, "suspect rows per dispatched shard when coordinating (0 = default)")
+	shardRows := flag.String("shard-rows", "", "suspect rows per dispatched shard when coordinating: a row count, or \"auto\" to size each shard from the receiving worker's observed throughput (empty/0 = default fixed size)")
+	targetShardLatency := flag.Duration("target-shard-latency", 0, "per-shard wall time -shard-rows auto aims each worker at (0 = default)")
+	kernel := flag.String("kernel", "", "pin the batched keyed-hash backend (see 'wmtool kernels'; empty = auto-select the fastest for this machine)")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn or error")
 	enablePprof := flag.Bool("pprof", false, "mount /debug/pprof/ profiling endpoints")
 	flag.Parse()
@@ -67,8 +71,19 @@ func main() {
 			os.Exit(2)
 		}
 	}
+	clusterCfg, err := parseShardRows(*shardRows)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wmserver:", err)
+		os.Exit(2)
+	}
+	clusterCfg.TargetShardLatency = *targetShardLatency
+	kind, err := parseKernel(*kernel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wmserver:", err)
+		os.Exit(2)
+	}
 
-	err := server.Run(*addr, *storeDir, server.Config{
+	err = server.Run(*addr, *storeDir, server.Config{
 		Workers:             *workers,
 		MaxBodyBytes:        *maxBody,
 		ScannerCacheEntries: *scannerCache,
@@ -76,9 +91,10 @@ func main() {
 		JobQueueDepth:       *jobQueue,
 		Log:                 obs.NewLogger(os.Stderr, obs.ParseLevel(*logLevel)),
 		EnablePprof:         *enablePprof,
+		HashKernel:          kind,
 		Cluster: server.ClusterConfig{
 			Coordinator:  *coordinator,
-			Cluster:      cluster.Config{ShardRows: *shardRows},
+			Cluster:      clusterCfg,
 			JoinURL:      *join,
 			AdvertiseURL: adv,
 			WorkerID:     *workerID,
@@ -89,6 +105,44 @@ func main() {
 		fmt.Fprintln(os.Stderr, "wmserver:", err)
 		os.Exit(1)
 	}
+}
+
+// parseShardRows maps the -shard-rows value onto cluster.Config: a plain
+// row count keeps the fixed-size scheduler, "auto" switches on
+// throughput-driven shard sizing.
+func parseShardRows(v string) (cluster.Config, error) {
+	switch v {
+	case "", "0":
+		return cluster.Config{}, nil
+	case "auto":
+		return cluster.Config{AutoShardRows: true}, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 0 {
+		return cluster.Config{}, fmt.Errorf("invalid -shard-rows %q (want a row count or \"auto\")", v)
+	}
+	return cluster.Config{ShardRows: n}, nil
+}
+
+// parseKernel validates a -kernel value against the registered hash
+// backends, listing them on a miss.
+func parseKernel(v string) (keyhash.KernelKind, error) {
+	if v == "" || v == "auto" {
+		return keyhash.KernelAuto, nil
+	}
+	for _, bk := range keyhash.Backends() {
+		if string(bk.Kind) == v {
+			if !bk.Available {
+				return "", fmt.Errorf("-kernel %s not available on this machine (needs %s)", v, bk.Requires)
+			}
+			return bk.Kind, nil
+		}
+	}
+	names := "auto"
+	for _, bk := range keyhash.Backends() {
+		names += ", " + string(bk.Kind)
+	}
+	return "", fmt.Errorf("unknown -kernel %q (have %s)", v, names)
 }
 
 // deriveAdvertiseURL builds a loopback advertise URL from a listen

@@ -75,6 +75,8 @@ func main() {
 		err = cmdAnalyze(os.Args[2:])
 	case "audit":
 		err = cmdAudit(os.Args[2:])
+	case "kernels":
+		err = cmdKernels(os.Args[2:])
 	case "serve":
 		err = cmdServe(os.Args[2:])
 	case "-h", "--help", "help":
@@ -101,6 +103,7 @@ commands:
   attack     apply an adversary-model attack (A1-A6)
   analyze    Section 4.4 vulnerability mathematics
   audit      submit an async corpus audit to a wmserver and await the verdicts
+  kernels    list the batched hash backends and their calibrated speeds
   serve      run the wmserver HTTP API in-process
 
 watermark and verify accept -server URL to run against a live wmserver
@@ -370,16 +373,24 @@ func cmdVerify(args []string) error {
 	recordPaths := fs.String("records", "", "comma-separated certificate files (stored IDs with -server): verify all against ONE streaming scan of -in")
 	parallel := fs.Int("parallel", 1, "pipeline workers (1 = sequential, 0 = NumCPU)")
 	serverURL := fs.String("server", "", "wmserver base URL: verify remotely against stored certificates, streaming the suspect from disk")
+	kernelFlag := fs.String("kernel", "", "pin the batched keyed-hash backend for local scans (see 'wmtool kernels'; empty = auto-select)")
 	fs.Parse(args)
 
 	if *in == "" || *spec == "" || (*recordPath == "") == (*recordPaths == "") {
 		return fmt.Errorf("verify: -in, -schema, and exactly one of -record / -records are required")
 	}
+	kernel, err := parseKernelFlag(*kernelFlag)
+	if err != nil {
+		return fmt.Errorf("verify: %w", err)
+	}
 	if *serverURL != "" {
+		if *kernelFlag != "" {
+			return fmt.Errorf("verify: -kernel applies to local scans; pin the server's backend with wmserver -kernel")
+		}
 		return remoteVerify(*serverURL, *in, *spec, *recordPath, splitList(*recordPaths), *parallel)
 	}
 	if *recordPaths != "" {
-		return verifyBatch(*in, *spec, splitList(*recordPaths), specWorkers(*parallel))
+		return verifyBatch(*in, *spec, splitList(*recordPaths), specWorkers(*parallel), kernel)
 	}
 	data, err := os.ReadFile(*recordPath)
 	if err != nil {
@@ -393,7 +404,10 @@ func cmdVerify(args []string) error {
 	if err != nil {
 		return err
 	}
-	rep, err := rec.VerifyParallel(suspect, specWorkers(*parallel))
+	rep, err := rec.VerifyWith(suspect, core.VerifyOptions{
+		Workers:    specWorkers(*parallel),
+		HashKernel: kernel,
+	})
 	if err != nil {
 		return err
 	}
@@ -431,7 +445,7 @@ func verdictString(match float64) string {
 // streaming scan: the CSV is read straight off disk tuple-at-a-time and
 // fanned across all prepared scanners (core.VerifyBatch), so auditing a
 // dataset against a whole certificate catalog costs one pass.
-func verifyBatch(in, spec string, recordPaths []string, workers int) error {
+func verifyBatch(in, spec string, recordPaths []string, workers int, kernel keyhash.KernelKind) error {
 	records := make([]*core.Record, len(recordPaths))
 	for i, path := range recordPaths {
 		data, err := os.ReadFile(path)
@@ -455,7 +469,7 @@ func verifyBatch(in, spec string, recordPaths []string, workers int) error {
 	if err != nil {
 		return err
 	}
-	outs, err := core.VerifyBatch(context.Background(), records, src, core.BatchOptions{Workers: workers})
+	outs, err := core.VerifyBatch(context.Background(), records, src, core.BatchOptions{Workers: workers, HashKernel: kernel})
 	if err != nil {
 		return err
 	}
@@ -477,6 +491,57 @@ func verifyBatch(in, spec string, recordPaths []string, workers int) error {
 		}
 	}
 	return nil
+}
+
+// cmdKernels reports the batched keyed-hash backends compiled into this
+// binary, which of them this machine can run, and the startup
+// micro-benchmark's measured rate for each — the data behind every
+// -kernel flag and behind the auto selection scans default to.
+func cmdKernels(args []string) error {
+	fs := flag.NewFlagSet("kernels", flag.ExitOnError)
+	fs.Parse(args)
+	cal := keyhash.Calibrate()
+	fmt.Println("batched keyed-hash backends, H(V;k) = SHA-256(len(k) || k || V || k):")
+	for _, bk := range keyhash.Backends() {
+		line := fmt.Sprintf("  %-13s %d lane", bk.Kind, bk.Lanes)
+		if bk.Lanes != 1 {
+			line += "s"
+		}
+		if rate, ok := cal.HashesPerSec[bk.Kind]; ok {
+			line += fmt.Sprintf("  %8.2f Mhash/s", rate/1e6)
+		}
+		if !bk.Available {
+			line += "  unavailable (needs " + bk.Requires + ")"
+		}
+		if bk.Kind == cal.Kind {
+			line += "  <- auto selection"
+		}
+		fmt.Println(line)
+	}
+	fmt.Printf("\nauto (the default for every scan) picked %q on this machine.\n", cal.Kind)
+	fmt.Println("pin a backend with 'wmtool verify -kernel <kind>' or 'wmserver -kernel <kind>'.")
+	return nil
+}
+
+// parseKernelFlag validates a -kernel value against the registered
+// backends, listing them on a miss.
+func parseKernelFlag(v string) (keyhash.KernelKind, error) {
+	if v == "" || v == "auto" {
+		return keyhash.KernelAuto, nil
+	}
+	for _, bk := range keyhash.Backends() {
+		if string(bk.Kind) == v {
+			if !bk.Available {
+				return "", fmt.Errorf("kernel %s not available on this machine (needs %s)", v, bk.Requires)
+			}
+			return bk.Kind, nil
+		}
+	}
+	names := "auto"
+	for _, bk := range keyhash.Backends() {
+		names += ", " + string(bk.Kind)
+	}
+	return "", fmt.Errorf("unknown kernel %q (have %s)", v, names)
 }
 
 func cmdAttack(args []string) error {

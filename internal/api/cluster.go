@@ -43,6 +43,14 @@ type WorkerRegistration struct {
 	// Capacity is how many shards the worker scans concurrently; <= 0
 	// means 1.
 	Capacity int `json:"capacity,omitempty"`
+	// Kernel is the hash backend the worker's scans run on (the
+	// calibrated KernelAuto pick, or a pinned kind). Informational plus
+	// autotuning: the coordinator surfaces it in /healthz.
+	Kernel string `json:"kernel,omitempty"`
+	// HashesPerSec is the worker's calibrated single-thread keyed-hash
+	// rate (keyhash.Calibrate). The coordinator seeds shard-size
+	// autotuning with it until real per-shard throughput is observed.
+	HashesPerSec float64 `json:"hashes_per_sec,omitempty"`
 }
 
 // WorkerAck is the registration reply: the lease terms the coordinator
@@ -68,6 +76,14 @@ type WorkerStatus struct {
 	// ActiveShards is how many dispatched shards the worker currently
 	// holds.
 	ActiveShards int `json:"active_shards"`
+	// Kernel is the hash backend the worker advertised at registration.
+	Kernel string `json:"kernel,omitempty"`
+	// HashesPerSec is the worker's advertised calibrated hash rate.
+	HashesPerSec float64 `json:"hashes_per_sec,omitempty"`
+	// RowsPerSec is the coordinator's observed per-worker scan
+	// throughput (EWMA over completed shards) — the signal auto shard
+	// sizing uses. Zero until the worker completes a shard.
+	RowsPerSec float64 `json:"rows_per_sec,omitempty"`
 }
 
 // ClusterStatus is the cluster block of the /healthz body.

@@ -42,7 +42,17 @@ type shardTask struct {
 	// failed is the set of worker IDs that already failed this shard;
 	// acquire avoids them while an untried live worker exists.
 	failed map[string]bool
+	// sub/child track re-splitting: when an auto-sized shard fails, the
+	// retry may cut it into smaller children (same idx, sub 0..n-1) so a
+	// shard sized for a fast worker that died isn't forced whole onto a
+	// slow survivor. Children never split again.
+	sub   int
+	child bool
 }
+
+// resKey addresses one parked partial result: a whole shard is
+// {idx, 0}; a split shard parks one entry per child.
+type resKey struct{ idx, sub int }
 
 // scan is the mutable state of one ScanShards call.
 type scan struct {
@@ -71,7 +81,10 @@ type scan struct {
 	produced   int
 	readerDone bool
 	err        error
-	results    map[int][]*mark.Tally
+	results    map[resKey][]*mark.Tally
+	// subCount marks shards that were re-split on retry: idx -> number
+	// of children whose partials must merge in sub order.
+	subCount map[int]int
 }
 
 // wake nudges the dispatcher (non-blocking; coalesces).
@@ -128,7 +141,8 @@ func (c *Coordinator) ScanShards(ctx context.Context, src relation.RowReader, sc
 		kick:         make(chan struct{}, 1),
 		feed:         make(chan struct{}, 1),
 		readerExited: make(chan struct{}),
-		results:      make(map[int][]*mark.Tally),
+		results:      make(map[resKey][]*mark.Tally),
+		subCount:     make(map[int]int),
 	}
 	for j, sc := range scanners {
 		s.bandwidths[j] = sc.Bandwidth()
@@ -168,8 +182,14 @@ func (c *Coordinator) ScanShards(ctx context.Context, src relation.RowReader, sc
 		totals[j] = sc.NewTally()
 	}
 	for idx := 0; idx < s.produced; idx++ {
-		for j := range totals {
-			totals[j].Merge(s.results[idx][j])
+		subs := 1
+		if n := s.subCount[idx]; n > 0 {
+			subs = n
+		}
+		for sub := 0; sub < subs; sub++ {
+			for j := range totals {
+				totals[j].Merge(s.results[resKey{idx, sub}][j])
+			}
 		}
 	}
 	return totals, nil
@@ -185,6 +205,7 @@ func (c *Coordinator) ScanShards(ctx context.Context, src relation.RowReader, sc
 // between rows) once the scan has failed or been cancelled.
 func (s *scan) readShards(src relation.RowReader) {
 	defer close(s.readerExited)
+	auto := s.c.cfg.AutoShardRows
 	shardRows := s.c.cfg.shardRows()
 	maxBuffered := s.c.cfg.maxBufferedShards()
 	var (
@@ -259,6 +280,17 @@ func (s *scan) readShards(src relation.RowReader) {
 			finish(nil)
 			return
 		}
+		// Auto mode sizes each shard as it begins, not up front: the
+		// reader stays at most one undispatched shard ahead (so the size
+		// reflects the worker that will actually receive it) and asks the
+		// coordinator how many rows that worker digests in the target
+		// latency.
+		if auto && rows == 0 {
+			if shardRows = s.autoShardRows(); shardRows == 0 {
+				finish(s.ctx.Err())
+				return
+			}
+		}
 		t, err := src.Read()
 		if err == io.EOF {
 			break
@@ -286,6 +318,31 @@ func (s *scan) readShards(src relation.RowReader) {
 		return
 	}
 	finish(nil)
+}
+
+// autoShardRows parks until the dispatcher has drained the pending
+// queue — keeping the reader at most one undispatched shard ahead in
+// auto mode — then returns the row count the coordinator recommends for
+// the next shard. Returns 0 when the scan has died and the reader
+// should stop.
+func (s *scan) autoShardRows() int {
+	for {
+		s.mu.Lock()
+		if s.err != nil || s.ctx.Err() != nil {
+			s.mu.Unlock()
+			return 0
+		}
+		if len(s.pending) == 0 {
+			s.mu.Unlock()
+			return s.c.targetShardRows()
+		}
+		s.mu.Unlock()
+		select {
+		case <-s.feed:
+		case <-s.ctx.Done():
+			return 0
+		}
+	}
 }
 
 // dispatch is the scheduler loop: hand pending shards to free workers,
@@ -371,16 +428,23 @@ func (s *scan) runShard(task *shardTask, m *member) {
 		!errors.Is(err, errInvalidShardResponse) && s.ctx.Err() == nil
 	s.c.release(m, transport)
 
-	if err == nil && s.job.Progress != nil {
-		s.job.Progress(task.rows)
+	if err == nil {
+		// Feed the autotuner: rows over wall time for this worker. Runs
+		// in fixed mode too — the learned rate shows up in /healthz and
+		// /metrics either way.
+		s.c.observeRate(m, task.rows, elapsed)
+		if s.job.Progress != nil {
+			s.job.Progress(task.rows)
+		}
 	}
 
 	attempt := 0
+	split := 0
 	s.mu.Lock()
 	s.inflight--
 	switch {
 	case err == nil:
-		s.results[task.idx] = tallies
+		s.results[resKey{task.idx, task.sub}] = tallies
 	case s.ctx.Err() != nil || s.err != nil:
 		// Cancelled or already failing — drop the shard, the dispatcher
 		// is only waiting for in-flight RPCs to unwind.
@@ -392,13 +456,33 @@ func (s *scan) runShard(task *shardTask, m *member) {
 			s.failLocked(fmt.Errorf("cluster: shard %d failed on %d workers, last error: %w",
 				task.idx, task.attempts, err))
 		} else {
-			s.pending = append(s.pending, task)
+			// An auto-sized shard was cut for the worker that just failed
+			// it; the survivor retrying it may be far slower. Re-split it
+			// in half so the retry granularity matches the cluster that
+			// remains. Children keep the shard's attempt budget and never
+			// split again; splitting must happen in this same critical
+			// section as inflight--, or the dispatcher could observe an
+			// empty scheduler and finish without the shard.
+			requeue := []*shardTask{task}
+			if s.c.cfg.AutoShardRows && !task.child && task.rows >= 2*s.c.cfg.minShardRows() {
+				if children, splitErr := s.splitTask(task); splitErr == nil {
+					s.subCount[task.idx] = len(children)
+					requeue = children
+					split = len(children)
+				}
+			}
+			s.pending = append(s.pending, requeue...)
 			if met := s.c.met; met != nil {
 				met.retries.With(m.id).Inc()
 			}
 		}
 	}
 	s.mu.Unlock()
+	if split > 0 {
+		s.c.log.Info("cluster: shard re-split for retry",
+			"request_id", obs.RequestID(s.ctx), "shard", task.idx, "rows", task.rows,
+			"children", split)
+	}
 	if attempt > 0 {
 		s.c.log.Warn("cluster: shard attempt failed",
 			"request_id", obs.RequestID(s.ctx), "shard", task.idx, "worker", m.id,
@@ -406,6 +490,55 @@ func (s *scan) runShard(task *shardTask, m *member) {
 	}
 	s.wake()
 	s.wakeFeeder() // a parked reader re-checks for failure (or freed room)
+}
+
+// splitTask cuts a failed shard's payload into two half-sized children
+// (same idx, sub 0 and 1) by round-tripping the serialized rows. The
+// children inherit the shard's attempt count and failure history.
+func (s *scan) splitTask(task *shardTask) ([]*shardTask, error) {
+	schema, err := relation.ParseSchemaSpec(s.job.Schema)
+	if err != nil {
+		return nil, err
+	}
+	src, err := relation.NewCSVRowReader(strings.NewReader(task.data), schema)
+	if err != nil {
+		return nil, err
+	}
+	sizes := [2]int{task.rows / 2, task.rows - task.rows/2}
+	children := make([]*shardTask, 0, len(sizes))
+	for sub, want := range sizes {
+		var buf strings.Builder
+		w, err := relation.NewCSVRowWriter(&buf, schema)
+		if err != nil {
+			return nil, err
+		}
+		for n := 0; n < want; n++ {
+			t, err := src.Read()
+			if err != nil {
+				return nil, fmt.Errorf("cluster: re-split shard %d: %w", task.idx, err)
+			}
+			if err := w.Write(t); err != nil {
+				return nil, err
+			}
+		}
+		if err := w.Flush(); err != nil {
+			return nil, err
+		}
+		failed := make(map[string]bool, len(task.failed))
+		for id := range task.failed {
+			failed[id] = true
+		}
+		children = append(children, &shardTask{
+			idx:      task.idx,
+			sub:      sub,
+			child:    true,
+			data:     buf.String(),
+			rows:     want,
+			attempts: task.attempts,
+			failed:   failed,
+		})
+	}
+	return children, nil
 }
 
 // errInvalidShardResponse marks a shard reply that arrived but failed

@@ -1,6 +1,7 @@
 package keyhash
 
 import (
+	"os"
 	"strconv"
 	"strings"
 	"testing"
@@ -63,18 +64,61 @@ func BenchmarkKernelHashMany(b *testing.B) {
 		}
 		reportHashRate(b, len(values))
 	})
-	for _, kind := range []KernelKind{KernelPortable, KernelMultiBuffer} {
-		kern, err := k.NewKernel(kind)
-		if err != nil {
-			b.Logf("kernel %q unavailable: %v", kind, err)
+	for _, bk := range Backends() {
+		if !bk.Available {
+			b.Logf("kernel %q unavailable (needs %s)", bk.Kind, bk.Requires)
 			continue
 		}
-		b.Run(string(kind), func(b *testing.B) {
+		kern, err := k.NewKernel(bk.Kind)
+		if err != nil {
+			b.Fatalf("kernel %q: %v", bk.Kind, err)
+		}
+		b.Run(string(bk.Kind), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				kern.HashMany(values, out)
 			}
 			reportHashRate(b, len(values))
 		})
+	}
+
+	// CI pins a backend via WM_BENCH_KERNEL so two runs produce the same
+	// sub-benchmark name ("pinned") and benchstat can diff them — e.g.
+	// old = multibuffer, new = widest. Accepted values: any kernel kind,
+	// "auto" (the calibrated winner), or "widest" (most lanes available).
+	if env := os.Getenv("WM_BENCH_KERNEL"); env != "" {
+		kind, err := resolveBenchKernel(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		kern, err := k.NewKernel(kind)
+		if err != nil {
+			b.Fatalf("WM_BENCH_KERNEL=%s: %v", env, err)
+		}
+		b.Run("pinned", func(b *testing.B) {
+			b.Logf("WM_BENCH_KERNEL=%s -> kernel %q", env, kind)
+			for i := 0; i < b.N; i++ {
+				kern.HashMany(values, out)
+			}
+			reportHashRate(b, len(values))
+		})
+	}
+}
+
+// resolveBenchKernel maps a WM_BENCH_KERNEL value to a concrete kind.
+func resolveBenchKernel(env string) (KernelKind, error) {
+	switch env {
+	case "auto":
+		return AutoKind(), nil
+	case "widest":
+		kind, lanes := KernelPortable, 1
+		for _, bk := range Backends() {
+			if bk.Available && bk.Lanes > lanes {
+				kind, lanes = bk.Kind, bk.Lanes
+			}
+		}
+		return kind, nil
+	default:
+		return KernelKind(env), nil
 	}
 }
 

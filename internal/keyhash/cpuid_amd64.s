@@ -1,7 +1,7 @@
 // func cpuid(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
 //
-// Raw CPUID, used once at init to decide whether the SHA-NI multi-buffer
-// kernel may be selected.
+// Raw CPUID, used once at init to decide which accelerated hash
+// backends may be selected.
 
 #include "textflag.h"
 
@@ -13,4 +13,16 @@ TEXT ·cpuid(SB), NOSPLIT, $0-24
 	MOVL BX, ebx+12(FP)
 	MOVL CX, ecx+16(FP)
 	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv(index uint32) (eax, edx uint32)
+//
+// Raw XGETBV: reads an extended control register, used to check that
+// the OS actually saves/restores the XMM+YMM state before the AVX2
+// kernel is allowed. Only call when CPUID reports OSXSAVE.
+TEXT ·xgetbv(SB), NOSPLIT, $0-16
+	MOVL index+0(FP), CX
+	XGETBV
+	MOVL AX, eax+8(FP)
+	MOVL DX, edx+12(FP)
 	RET

@@ -27,8 +27,10 @@ type Kernel interface {
 type KernelKind string
 
 const (
-	// KernelAuto picks the fastest backend available on this CPU:
-	// the multi-buffer kernel where supported, else the portable one.
+	// KernelAuto picks the fastest backend available on this machine:
+	// the first NewKernel(KernelAuto) in a process runs a short
+	// calibration pass (see Calibrate) that micro-benchmarks every
+	// available backend and caches the winner.
 	KernelAuto KernelKind = ""
 	// KernelPortable is the pure-Go batched kernel: one-shot SHA-256 per
 	// value over a reused stack scratch buffer. Available everywhere.
@@ -39,38 +41,127 @@ const (
 	// implementation underutilizing the execution ports. amd64 with
 	// SHA-NI only; NewKernel reports an error elsewhere.
 	KernelMultiBuffer KernelKind = "multibuffer"
+	// KernelMultiBuffer4 runs four independent SHA-256 streams per
+	// assembly call — two interleaved 2-lane schedule chains feeding one
+	// 4-deep interleaved round loop — hiding the SHA256RNDS2 latency
+	// chain deeper than the 2-lane kernel can. amd64 with SHA-NI only.
+	KernelMultiBuffer4 KernelKind = "multibuffer4"
+	// KernelAVX2 is the 8-lane multi-buffer SHA-256 kernel: a transposed
+	// message schedule evaluated with plain AVX2 integer SIMD, one YMM
+	// word per round across eight independent messages. No SHA-NI
+	// dependency — amd64 with AVX2 + BMI2 only.
+	KernelAVX2 KernelKind = "avx2"
 )
+
+// backendDef is one registered hash backend: the registry entry that
+// lets a kernel self-describe its lane width and CPU requirements, so
+// enumeration (KernelKinds, Backends, KernelStats, Calibrate) can never
+// silently miss a backend that NewKernel accepts.
+type backendDef struct {
+	kind  KernelKind
+	lanes int
+	// requires names the CPU gate for diagnostics ("" = none).
+	requires string
+	// available reports whether this CPU can run the backend.
+	available func() bool
+	// build constructs the kernel for a validated key; only called when
+	// available() is true.
+	build func(Key) Kernel
+	// counters is the backend's process-wide HashMany activity, ticked
+	// by every kernel the def builds and read by KernelStats.
+	counters kernelCounters
+}
+
+// registry holds every backend in presentation order: portable first,
+// then the accelerated backends by increasing lane count (arch init
+// functions append theirs). Selection order is NOT registry order —
+// KernelAuto picks by measured throughput (Calibrate).
+var registry = func() []*backendDef {
+	d := &backendDef{
+		kind:      KernelPortable,
+		lanes:     1,
+		available: func() bool { return true },
+	}
+	d.build = func(k Key) Kernel { return newPortableKernel(k, &d.counters) }
+	return []*backendDef{d}
+}()
+
+func lookupBackend(kind KernelKind) *backendDef {
+	for _, d := range registry {
+		if d.kind == kind {
+			return d
+		}
+	}
+	return nil
+}
 
 // KernelKinds lists the kinds accepted by NewKernel, KernelAuto first.
 func KernelKinds() []KernelKind {
-	return []KernelKind{KernelAuto, KernelPortable, KernelMultiBuffer}
+	kinds := make([]KernelKind, 0, len(registry)+1)
+	kinds = append(kinds, KernelAuto)
+	for _, d := range registry {
+		kinds = append(kinds, d.kind)
+	}
+	return kinds
+}
+
+// BackendInfo describes one registered hash backend for introspection
+// (wmtool kernels, the README catalog, tests).
+type BackendInfo struct {
+	// Kind is the spelling NewKernel accepts.
+	Kind KernelKind `json:"kind"`
+	// Lanes is how many independent SHA-256 streams one HashMany batch
+	// step evaluates.
+	Lanes int `json:"lanes"`
+	// Requires names the CPU features gating the backend ("" = none).
+	Requires string `json:"requires,omitempty"`
+	// Available reports whether this machine can run the backend.
+	Available bool `json:"available"`
+}
+
+// Backends lists every registered backend in presentation order,
+// including ones this CPU cannot run (Available reports which).
+func Backends() []BackendInfo {
+	out := make([]BackendInfo, len(registry))
+	for i, d := range registry {
+		out[i] = BackendInfo{
+			Kind:      d.kind,
+			Lanes:     d.lanes,
+			Requires:  d.requires,
+			Available: d.available(),
+		}
+	}
+	return out
 }
 
 // NewKernel validates the key and builds the requested hash backend.
-// KernelAuto never fails on a valid key; KernelMultiBuffer fails where
-// the CPU (or architecture) lacks the SHA extensions it needs.
+// KernelAuto never fails on a valid key (it resolves to the calibrated
+// winner, see Calibrate); a concrete kind fails where the CPU (or
+// architecture) lacks the features it needs.
 func (k Key) NewKernel(kind KernelKind) (Kernel, error) {
 	if err := k.Validate(); err != nil {
 		return nil, err
 	}
-	switch kind {
-	case KernelAuto:
-		if mk := newMultiKernel(k); mk != nil {
-			return mk, nil
-		}
-		return newPortableKernel(k), nil
-	case KernelPortable:
-		return newPortableKernel(k), nil
-	case KernelMultiBuffer:
-		mk := newMultiKernel(k)
-		if mk == nil {
-			return nil, fmt.Errorf("keyhash: kernel %q unavailable on this CPU", kind)
-		}
-		return mk, nil
-	default:
-		return nil, fmt.Errorf("keyhash: unknown hash kernel %q (want %q, %q or %q)",
-			kind, KernelAuto, KernelPortable, KernelMultiBuffer)
+	if kind == KernelAuto {
+		kind = AutoKind()
 	}
+	d := lookupBackend(kind)
+	if d == nil {
+		return nil, fmt.Errorf("keyhash: unknown hash kernel %q (want one of %s)", kind, kindSpellings())
+	}
+	if !d.available() {
+		return nil, fmt.Errorf("keyhash: kernel %q unavailable on this CPU (needs %s)", kind, d.requires)
+	}
+	return d.build(k), nil
+}
+
+// kindSpellings renders the accepted kinds for error messages.
+func kindSpellings() string {
+	s := fmt.Sprintf("%q", KernelAuto)
+	for _, d := range registry {
+		s += fmt.Sprintf(", %q", d.kind)
+	}
+	return s
 }
 
 // portableKernel is the pure-Go batched backend. The construct's message
@@ -79,24 +170,24 @@ func (k Key) NewKernel(kind KernelKind) (Kernel, error) {
 // prefix copy of Hasher.HashString are paid once per block instead of
 // once per value.
 type portableKernel struct {
-	h *Hasher
+	h   *Hasher
+	ctr *kernelCounters
 }
 
-func newPortableKernel(k Key) *portableKernel {
+func newPortableKernel(k Key, ctr *kernelCounters) *portableKernel {
 	h, err := k.NewHasher()
 	if err != nil {
 		// NewKernel validated the key already.
 		panic(fmt.Sprintf("keyhash: portable kernel: %v", err))
 	}
-	return &portableKernel{h: h}
+	return &portableKernel{h: h, ctr: ctr}
 }
 
 // HashMany hashes every value with a single scratch buffer. Values too
 // long for the one-shot buffer fall back to the streaming construct,
 // exactly like Hasher.HashString.
 func (p *portableKernel) HashMany(values []string, out []Digest) {
-	portableCalls.Add(1)
-	portableValues.Add(uint64(len(values)))
+	p.ctr.tick(len(values))
 	_ = out[:len(values)] // one bounds check up front
 	var buf [oneShotMax]byte
 	prefixLen := copy(buf[:], p.h.prefix)

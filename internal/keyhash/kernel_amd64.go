@@ -1,6 +1,9 @@
 package keyhash
 
-import "encoding/binary"
+import (
+	"encoding/binary"
+	"fmt"
+)
 
 // The multi-buffer backend: two independent one-shot SHA-256 message
 // streams interleaved through the CPU's SHA extensions in a single
@@ -11,8 +14,31 @@ import "encoding/binary"
 // bubbles and raises throughput well above 1.5× without changing a
 // single digest bit.
 
-// cpuid is implemented in cpuid_amd64.s.
+// cpuid and xgetbv are implemented in cpuid_amd64.s.
 func cpuid(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+func xgetbv(index uint32) (eax, edx uint32)
+
+// init appends the amd64 backends to the registry in increasing lane
+// order: 2-lane SHA-NI, 4-lane SHA-NI, 8-lane AVX2. One init keeps the
+// registry order deterministic regardless of file compilation order.
+func init() {
+	registry = append(registry,
+		multiBufferDef(),
+		multiBuffer4Def(),
+		avx2Def(),
+	)
+}
+
+func multiBufferDef() *backendDef {
+	d := &backendDef{
+		kind:      KernelMultiBuffer,
+		lanes:     2,
+		requires:  "amd64 with SHA-NI, SSSE3, SSE4.1",
+		available: func() bool { return hasSHANI },
+	}
+	d.build = func(k Key) Kernel { return newMultiKernel(k, &d.counters) }
+	return d
+}
 
 // hasSHANI reports whether the CPU has the SHA extensions plus the
 // SSSE3/SSE4.1 shuffles the kernel uses.
@@ -56,25 +82,23 @@ type multiKernel struct {
 	h      *Hasher
 	key    Key
 	prefix []byte // len(k) ‖ k
+	ctr    *kernelCounters
 }
 
-// newMultiKernel returns the multi-buffer kernel, or nil when the CPU
-// lacks SHA extensions. k must already be validated.
-func newMultiKernel(k Key) Kernel {
-	if !hasSHANI {
-		return nil
-	}
+// newMultiKernel returns the two-lane multi-buffer kernel. The caller
+// (the registry) has already checked availability and validated k.
+func newMultiKernel(k Key, ctr *kernelCounters) Kernel {
 	h, err := k.NewHasher()
 	if err != nil {
-		return nil
+		panic(fmt.Sprintf("keyhash: multibuffer kernel: %v", err))
 	}
-	return &multiKernel{h: h, key: k, prefix: h.prefix}
+	return &multiKernel{h: h, key: k, prefix: h.prefix, ctr: ctr}
 }
 
-// blocksFor returns the padded block count of the construct for v — 1 or
-// 2 — or 0 when it exceeds the two-block lane (streaming fallback).
-func (m *multiKernel) blocksFor(v string) int {
-	total := len(m.prefix) + len(v) + len(m.key)
+// paddedBlocks returns the padded block count of the construct for v —
+// 1 or 2 — or 0 when it exceeds the two-block lane (streaming fallback).
+func paddedBlocks(prefixLen int, key Key, v string) int {
+	total := prefixLen + len(v) + len(key)
 	switch {
 	case total+9 <= 64:
 		return 1
@@ -85,12 +109,12 @@ func (m *multiKernel) blocksFor(v string) int {
 	}
 }
 
-// fill assembles the fully padded message len(k) ‖ k ‖ v ‖ k ‖ 0x80 ‖
-// 0… ‖ len into a lane buffer, exactly as SHA-256 itself would pad it.
-func (m *multiKernel) fill(buf *[laneBytes]byte, v string, blocks int) {
-	n := copy(buf[:], m.prefix)
+// fillPadded assembles the fully padded message len(k) ‖ k ‖ v ‖ k ‖
+// 0x80 ‖ 0… ‖ len into a lane buffer, exactly as SHA-256 would pad it.
+func fillPadded(buf *[laneBytes]byte, prefix []byte, key Key, v string, blocks int) {
+	n := copy(buf[:], prefix)
 	n += copy(buf[n:], v)
-	n += copy(buf[n:], m.key)
+	n += copy(buf[n:], key)
 	end := 64 * blocks
 	buf[n] = 0x80
 	clear(buf[n+1 : end-8])
@@ -102,13 +126,12 @@ func (m *multiKernel) fill(buf *[laneBytes]byte, v string, blocks int) {
 // Hasher; values beyond the lane width use the streaming construct. The
 // digests are bit-identical to Hash/HashString in every case.
 func (m *multiKernel) HashMany(values []string, out []Digest) {
-	multiCalls.Add(1)
-	multiValues.Add(uint64(len(values)))
+	m.ctr.tick(len(values))
 	_ = out[:len(values)] // one bounds check up front
 	var b0, b1 [laneBytes]byte
 	pending := [3]int{-1, -1, -1} // pending value index per block count
 	for i, v := range values {
-		nb := m.blocksFor(v)
+		nb := paddedBlocks(len(m.prefix), m.key, v)
 		if nb == 0 {
 			out[i] = HashString(m.key, v)
 			continue
@@ -119,8 +142,8 @@ func (m *multiKernel) HashMany(values []string, out []Digest) {
 			continue
 		}
 		pending[nb] = -1
-		m.fill(&b0, values[j], nb)
-		m.fill(&b1, v, nb)
+		fillPadded(&b0, m.prefix, m.key, values[j], nb)
+		fillPadded(&b1, m.prefix, m.key, v, nb)
 		s0, s1 := sha256IV, sha256IV
 		sha256block2(&s0, &s1, &b0[0], &b1[0], nb)
 		putDigest(&out[j], &s0)

@@ -8,15 +8,21 @@ import (
 )
 
 // availableKernels returns every kernel kind constructible on this
-// machine, so the equivalence suite covers the assembly backend exactly
-// where it can run.
+// machine, so the equivalence suite covers each assembly backend
+// exactly where it can run. Unavailability is taken from the backend
+// registry itself: a kind that claims to be available but fails to
+// construct is a test failure, not a skip.
 func availableKernels(t testing.TB, k Key) map[KernelKind]Kernel {
 	t.Helper()
+	avail := map[KernelKind]bool{KernelAuto: true}
+	for _, b := range Backends() {
+		avail[b.Kind] = b.Available
+	}
 	kernels := map[KernelKind]Kernel{}
 	for _, kind := range KernelKinds() {
 		kern, err := k.NewKernel(kind)
 		if err != nil {
-			if kind == KernelMultiBuffer {
+			if !avail[kind] {
 				t.Logf("kernel %q unavailable here: %v", kind, err)
 				continue
 			}
@@ -42,6 +48,27 @@ func TestKernelMatchesHash(t *testing.T) {
 		{strings.Repeat("x", 47), strings.Repeat("y", 48), strings.Repeat("z", 200), "tiny"},
 		{strings.Repeat("long-value-", 30), strings.Repeat("w", 1000)},
 	}
+	// Ragged batch tails for every lane width: batch sizes around the
+	// 2-, 4- and 8-lane boundaries, same-length values so they all land
+	// in one block-count bucket.
+	for _, n := range []int{3, 4, 5, 7, 8, 9, 15, 16, 17} {
+		batch := make([]string, n)
+		for i := range batch {
+			batch[i] = fmt.Sprintf("tail-%02d-%02d", n, i)
+		}
+		cases = append(cases, batch)
+	}
+	// One-block and two-block values interleaved, so multi-lane batches
+	// fill both buckets at once and flush them at different times.
+	var mixed []string
+	for i := 0; i < 23; i++ {
+		if i%3 == 0 {
+			mixed = append(mixed, strings.Repeat("m", 90)+fmt.Sprint(i))
+		} else {
+			mixed = append(mixed, fmt.Sprintf("m%d", i))
+		}
+	}
+	cases = append(cases, mixed)
 	// Every value length from 0 through past the two-block lane
 	// boundary, in one batch (odd/even pairings shift as it goes).
 	var sweep []string
@@ -189,15 +216,130 @@ func (c *countingKernel) HashMany(values []string, out []Digest) {
 // TestKernelKindsRoundTrip pins the knob spellings that travel through
 // core.Spec and the CLI flags.
 func TestKernelKindsRoundTrip(t *testing.T) {
+	avail := map[KernelKind]bool{KernelAuto: true}
+	for _, b := range Backends() {
+		avail[b.Kind] = b.Available
+	}
 	for _, kind := range KernelKinds() {
-		if kind == KernelMultiBuffer {
+		if !avail[kind] {
 			continue // availability varies by CPU
 		}
 		if _, err := NewKey("k").NewKernel(kind); err != nil {
 			t.Fatalf("kind %q: %v", kind, err)
 		}
 	}
-	if got := fmt.Sprintf("%s/%s", KernelPortable, KernelMultiBuffer); got != "portable/multibuffer" {
+	got := fmt.Sprintf("%s/%s/%s/%s", KernelPortable, KernelMultiBuffer, KernelMultiBuffer4, KernelAVX2)
+	if got != "portable/multibuffer/multibuffer4/avx2" {
 		t.Fatalf("kernel kind spellings changed: %s", got)
 	}
+}
+
+// TestBackendRegistry pins the registry invariants every enumeration
+// path (KernelKinds, KernelStats, Calibrate, wmtool kernels) relies on.
+func TestBackendRegistry(t *testing.T) {
+	backends := Backends()
+	if len(backends) == 0 || backends[0].Kind != KernelPortable {
+		t.Fatalf("portable backend must be registered first: %+v", backends)
+	}
+	if !backends[0].Available {
+		t.Fatal("portable backend must always be available")
+	}
+	seen := map[KernelKind]bool{}
+	for _, b := range backends {
+		if seen[b.Kind] {
+			t.Fatalf("duplicate backend %q", b.Kind)
+		}
+		seen[b.Kind] = true
+		if b.Lanes < 1 {
+			t.Fatalf("backend %q: lanes %d", b.Kind, b.Lanes)
+		}
+		if b.Kind != KernelPortable && b.Requires == "" {
+			t.Fatalf("accelerated backend %q must name its CPU gate", b.Kind)
+		}
+	}
+	stats := KernelStats()
+	for _, b := range backends {
+		if _, ok := stats[b.Kind]; !ok {
+			t.Fatalf("KernelStats missing backend %q", b.Kind)
+		}
+	}
+	if len(stats) != len(backends) {
+		t.Fatalf("KernelStats has %d entries, registry %d", len(stats), len(backends))
+	}
+}
+
+// TestKernelStatsCount proves the counters actually tick through the
+// registry pairs: a fresh kernel's HashMany moves its backend's totals.
+func TestKernelStatsCount(t *testing.T) {
+	k := NewKey("stats-key")
+	values := []string{"a", "b", "c"}
+	out := make([]Digest, len(values))
+	for kind, kern := range availableKernels(t, k) {
+		if kind == KernelAuto {
+			continue // double-counts whichever backend it resolves to
+		}
+		before := KernelStats()[kind]
+		kern.HashMany(values, out)
+		after := KernelStats()[kind]
+		if after.Calls != before.Calls+1 || after.Values != before.Values+uint64(len(values)) {
+			t.Fatalf("kernel %q counters did not tick: before %+v after %+v", kind, before, after)
+		}
+	}
+}
+
+// TestCalibrate pins the auto-selection contract: the winner is an
+// available backend, every available backend gets a measured positive
+// rate, and the cached result is stable across calls.
+func TestCalibrate(t *testing.T) {
+	cal := Calibrate()
+	d := Calibrate()
+	if cal.Kind != d.Kind {
+		t.Fatalf("Calibrate not cached: %q then %q", cal.Kind, d.Kind)
+	}
+	found := false
+	for _, b := range Backends() {
+		if b.Kind == cal.Kind {
+			found = true
+			if !b.Available {
+				t.Fatalf("calibration picked unavailable backend %q", cal.Kind)
+			}
+		}
+		if b.Available {
+			if rate, ok := cal.HashesPerSec[b.Kind]; !ok || rate <= 0 {
+				t.Fatalf("backend %q: no positive calibrated rate (%v)", b.Kind, cal.HashesPerSec)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("calibration picked unregistered backend %q", cal.Kind)
+	}
+	if cal.Rate() <= 0 {
+		t.Fatalf("chosen backend rate %v", cal.Rate())
+	}
+	if AutoKind() != cal.Kind {
+		t.Fatalf("AutoKind %q != Calibrate().Kind %q", AutoKind(), cal.Kind)
+	}
+}
+
+// TestAutoKernelEquivalenceCovered is the CI guard: KernelAuto must
+// never resolve to a backend whose equivalence suite would be skipped.
+// The equivalence tests skip exactly the backends Backends() reports
+// unavailable, so the auto pick being available — and constructible —
+// means its digests are cross-checked on this machine.
+func TestAutoKernelEquivalenceCovered(t *testing.T) {
+	kind := AutoKind()
+	for _, b := range Backends() {
+		if b.Kind != kind {
+			continue
+		}
+		if !b.Available {
+			t.Fatalf("KernelAuto resolves to %q, which is unavailable here: its equivalence test is skipped", kind)
+		}
+		if _, err := NewKey("guard").NewKernel(kind); err != nil {
+			t.Fatalf("KernelAuto resolves to %q but it does not construct: %v", kind, err)
+		}
+		t.Logf("KernelAuto -> %q (%d lanes), equivalence-covered on this machine", kind, b.Lanes)
+		return
+	}
+	t.Fatalf("KernelAuto resolves to unregistered backend %q", kind)
 }

@@ -1,0 +1,338 @@
+// Four-lane SHA-256 compression for the multibuffer4 keyed-hash kernel.
+//
+// func sha256block4(states *[32]uint32, msgs *[4*128]byte, wbuf *[256]uint32, blocks int)
+//
+// Folds `blocks` 64-byte blocks from each of four independent messages
+// into four independent states. Lane l's message lives at msgs+l*128,
+// lane l's state at states[l*8:]; states are plain h[0..7] word order.
+//
+// The two-lane kernel interleaves the schedule update (MSG1/MSG2) with
+// the rounds, which caps it at two SHA256RNDS2 dependency chains in
+// flight. Going wider that way runs out of XMM registers: four states
+// plus four rotating schedules need more than sixteen. This kernel
+// splits the work instead:
+//
+//   Phase A: compute the full 64-word message schedule of every lane
+//            with the SHA256MSG1/MSG2 pipeline (two lanes interleaved,
+//            exactly the 2-lane schedule flow minus the rounds) and
+//            spill it to wbuf — 4 lanes x 64 words = 1 KiB of scratch
+//            the Go caller stack-allocates (NOSPLIT frames can't).
+//   Phase B: run the 64 rounds of all four lanes interleaved. Each
+//            group is load W, add K, two SHA256RNDS2 — no schedule
+//            work competing for ports — so four independent RNDS2
+//            chains hide the instruction's latency twice as deep as
+//            the 2-lane loop can.
+//
+// Requires SHA-NI, SSSE3 (PSHUFB) and SSE4.1 (PBLENDW); the Go side
+// gates construction on CPUID.
+
+#include "textflag.h"
+
+// ---- Phase A: message schedule, two lanes interleaved. ----
+// Lane A uses w regs X1-X4 with scratch X7; lane B uses X9-X12 with
+// scratch X13. wbuf offsets are passed literally (lane base + group*16).
+
+// Group 0: load 16 message bytes, byte-swap, spill.
+#define S_LOAD0(off, p, woff, w) \
+	MOVOU  off(p), w    \
+	PSHUFB X8, w        \
+	MOVOU  w, woff(DX)
+
+// Groups 1-2: load + spill, fold MSG1 into the previous word.
+#define S_LOAD1(off, p, woff, w, wprev) \
+	MOVOU      off(p), w  \
+	PSHUFB     X8, w      \
+	MOVOU      w, woff(DX) \
+	SHA256MSG1 w, wprev
+
+// Group 3: last load; the schedule pipeline starts (MSG2 finishes
+// group 4 = W16-19 into w0, which is spilled too).
+#define S_LOAD3(p, woff3, woff4, w0, w2, w3, scr) \
+	MOVOU      48(p), w3  \
+	PSHUFB     X8, w3     \
+	MOVOU      w3, woff3(DX) \
+	MOVO       w3, scr    \
+	PALIGNR    $4, w2, scr \
+	PADDD      scr, w0    \
+	SHA256MSG2 w3, w0     \
+	MOVOU      w0, woff4(DX) \
+	SHA256MSG1 w3, w2
+
+// Produce groups 5-13: full schedule update (MSG1 + MSG2), spill.
+#define S_MID(woffnxt, cur, prev3, nxt, scr) \
+	MOVO       cur, scr   \
+	PALIGNR    $4, prev3, scr \
+	PADDD      scr, nxt   \
+	SHA256MSG2 cur, nxt   \
+	MOVOU      nxt, woffnxt(DX) \
+	SHA256MSG1 cur, prev3
+
+// Produce groups 14-15: MSG2 still needed, MSG1 no longer.
+#define S_TAIL(woffnxt, cur, prev3, nxt, scr) \
+	MOVO       cur, scr   \
+	PALIGNR    $4, prev3, scr \
+	PADDD      scr, nxt   \
+	SHA256MSG2 cur, nxt   \
+	MOVOU      nxt, woffnxt(DX)
+
+// ---- Phase B: rounds, four lanes interleaved. ----
+// One 4-round group of one lane: reload the precomputed schedule word,
+// add the round constants, run both SHA256RNDS2 halves. X0 is the
+// implicit SHA256RNDS2 operand; the full-register reload breaks the
+// dependency between lanes, so four round chains overlap.
+#define B_LANE(koff, woff, st0, st1) \
+	MOVOU       woff(DX), X0 \
+	PADDD       koff(AX), X0 \
+	SHA256RNDS2 X0, st0, st1 \
+	PSHUFD      $0x0e, X0, X0 \
+	SHA256RNDS2 X0, st1, st0
+
+// One group across all four lanes (states X1/X2, X3/X4, X9/X10, X11/X12).
+#define B_GROUP(koff) \
+	B_LANE(koff, koff+0, X1, X2)    \
+	B_LANE(koff, koff+256, X3, X4)  \
+	B_LANE(koff, koff+512, X9, X10) \
+	B_LANE(koff, koff+768, X11, X12)
+
+// ---- State format conversion, h[0..7] <-> (ABEF, CDGH). ----
+// Same shuffle dance as the 2-lane kernel, but the working-form states
+// park in the stack frame (o0/o1) between phases.
+#define CONV_IN(o0, o1) \
+	MOVOU   o0(DI), X1  \
+	MOVOU   o1(DI), X2  \
+	PSHUFD  $0xb1, X1, X1 \
+	PSHUFD  $0x1b, X2, X2 \
+	MOVO    X1, X7      \
+	PALIGNR $8, X2, X1  \
+	PBLENDW $0xf0, X7, X2 \
+	MOVOU   X1, o0(SP)  \
+	MOVOU   X2, o1(SP)
+
+#define CONV_OUT(o0, o1) \
+	MOVOU   o0(SP), X1  \
+	MOVOU   o1(SP), X2  \
+	PSHUFD  $0x1b, X1, X1 \
+	PSHUFD  $0xb1, X2, X2 \
+	MOVO    X1, X7      \
+	PBLENDW $0xf0, X2, X1 \
+	PALIGNR $8, X7, X2  \
+	MOVOU   X1, o0(DI)  \
+	MOVOU   X2, o1(DI)
+
+// Load one lane's parked working state into its round registers.
+#define LOAD_ST(o0, o1, st0, st1) \
+	MOVOU o0(SP), st0 \
+	MOVOU o1(SP), st1
+
+// Feed-forward: add the parked incoming state, park the result.
+#define FEED_FWD(o0, o1, st0, st1) \
+	MOVOU o0(SP), X0 \
+	PADDD X0, st0    \
+	MOVOU o1(SP), X0 \
+	PADDD X0, st1    \
+	MOVOU st0, o0(SP) \
+	MOVOU st1, o1(SP)
+
+TEXT ·sha256block4(SB), NOSPLIT, $128-32
+	MOVQ states+0(FP), DI
+	MOVQ msgs+8(FP), SI
+	MOVQ wbuf+16(FP), DX
+	MOVQ blocks+24(FP), BX
+	TESTQ BX, BX
+	JZ   done
+	LEAQ kernel4K256<>+0(SB), AX
+	MOVOU kernel4Flip<>+0(SB), X8
+
+	// Lane message pointers: lane l at msgs + l*128.
+	LEAQ 128(SI), R8
+	LEAQ 256(SI), R9
+	LEAQ 384(SI), R10
+
+	// h[0..7] -> working order, parked at SP+l*32.
+	CONV_IN(0, 16)
+	CONV_IN(32, 48)
+	CONV_IN(64, 80)
+	CONV_IN(96, 112)
+
+blockLoop:
+	// Phase A, lanes 0+1: schedules into wbuf[0:64] and wbuf[64:128].
+	S_LOAD0(0, SI, 0, X1)
+	S_LOAD0(0, R8, 256, X9)
+	S_LOAD1(16, SI, 16, X2, X1)
+	S_LOAD1(16, R8, 272, X10, X9)
+	S_LOAD1(32, SI, 32, X3, X2)
+	S_LOAD1(32, R8, 288, X11, X10)
+	S_LOAD3(SI, 48, 64, X1, X3, X4, X7)
+	S_LOAD3(R8, 304, 320, X9, X11, X12, X13)
+	S_MID(80, X1, X4, X2, X7)
+	S_MID(336, X9, X12, X10, X13)
+	S_MID(96, X2, X1, X3, X7)
+	S_MID(352, X10, X9, X11, X13)
+	S_MID(112, X3, X2, X4, X7)
+	S_MID(368, X11, X10, X12, X13)
+	S_MID(128, X4, X3, X1, X7)
+	S_MID(384, X12, X11, X9, X13)
+	S_MID(144, X1, X4, X2, X7)
+	S_MID(400, X9, X12, X10, X13)
+	S_MID(160, X2, X1, X3, X7)
+	S_MID(416, X10, X9, X11, X13)
+	S_MID(176, X3, X2, X4, X7)
+	S_MID(432, X11, X10, X12, X13)
+	S_MID(192, X4, X3, X1, X7)
+	S_MID(448, X12, X11, X9, X13)
+	S_MID(208, X1, X4, X2, X7)
+	S_MID(464, X9, X12, X10, X13)
+	S_TAIL(224, X2, X1, X3, X7)
+	S_TAIL(480, X10, X9, X11, X13)
+	S_TAIL(240, X3, X2, X4, X7)
+	S_TAIL(496, X11, X10, X12, X13)
+
+	// Phase A, lanes 2+3: schedules into wbuf[128:192] and wbuf[192:256].
+	S_LOAD0(0, R9, 512, X1)
+	S_LOAD0(0, R10, 768, X9)
+	S_LOAD1(16, R9, 528, X2, X1)
+	S_LOAD1(16, R10, 784, X10, X9)
+	S_LOAD1(32, R9, 544, X3, X2)
+	S_LOAD1(32, R10, 800, X11, X10)
+	S_LOAD3(R9, 560, 576, X1, X3, X4, X7)
+	S_LOAD3(R10, 816, 832, X9, X11, X12, X13)
+	S_MID(592, X1, X4, X2, X7)
+	S_MID(848, X9, X12, X10, X13)
+	S_MID(608, X2, X1, X3, X7)
+	S_MID(864, X10, X9, X11, X13)
+	S_MID(624, X3, X2, X4, X7)
+	S_MID(880, X11, X10, X12, X13)
+	S_MID(640, X4, X3, X1, X7)
+	S_MID(896, X12, X11, X9, X13)
+	S_MID(656, X1, X4, X2, X7)
+	S_MID(912, X9, X12, X10, X13)
+	S_MID(672, X2, X1, X3, X7)
+	S_MID(928, X10, X9, X11, X13)
+	S_MID(688, X3, X2, X4, X7)
+	S_MID(944, X11, X10, X12, X13)
+	S_MID(704, X4, X3, X1, X7)
+	S_MID(960, X12, X11, X9, X13)
+	S_MID(720, X1, X4, X2, X7)
+	S_MID(976, X9, X12, X10, X13)
+	S_TAIL(736, X2, X1, X3, X7)
+	S_TAIL(992, X10, X9, X11, X13)
+	S_TAIL(752, X3, X2, X4, X7)
+	S_TAIL(1008, X11, X10, X12, X13)
+
+	// Phase B: 16 round groups, four lanes each.
+	LOAD_ST(0, 16, X1, X2)
+	LOAD_ST(32, 48, X3, X4)
+	LOAD_ST(64, 80, X9, X10)
+	LOAD_ST(96, 112, X11, X12)
+
+	B_GROUP(0)
+	B_GROUP(16)
+	B_GROUP(32)
+	B_GROUP(48)
+	B_GROUP(64)
+	B_GROUP(80)
+	B_GROUP(96)
+	B_GROUP(112)
+	B_GROUP(128)
+	B_GROUP(144)
+	B_GROUP(160)
+	B_GROUP(176)
+	B_GROUP(192)
+	B_GROUP(208)
+	B_GROUP(224)
+	B_GROUP(240)
+
+	FEED_FWD(0, 16, X1, X2)
+	FEED_FWD(32, 48, X3, X4)
+	FEED_FWD(64, 80, X9, X10)
+	FEED_FWD(96, 112, X11, X12)
+
+	ADDQ $64, SI
+	ADDQ $64, R8
+	ADDQ $64, R9
+	ADDQ $64, R10
+	DECQ BX
+	JNZ  blockLoop
+
+	// Working order back to h[0..7].
+	CONV_OUT(0, 16)
+	CONV_OUT(32, 48)
+	CONV_OUT(64, 80)
+	CONV_OUT(96, 112)
+
+done:
+	RET
+
+// SHA-256 round constants, packed (16-byte stride, 4 constants per
+// round group). File-local copy: static asm data symbols don't cross
+// files.
+DATA kernel4K256<>+0x00(SB)/4, $0x428a2f98
+DATA kernel4K256<>+0x04(SB)/4, $0x71374491
+DATA kernel4K256<>+0x08(SB)/4, $0xb5c0fbcf
+DATA kernel4K256<>+0x0c(SB)/4, $0xe9b5dba5
+DATA kernel4K256<>+0x10(SB)/4, $0x3956c25b
+DATA kernel4K256<>+0x14(SB)/4, $0x59f111f1
+DATA kernel4K256<>+0x18(SB)/4, $0x923f82a4
+DATA kernel4K256<>+0x1c(SB)/4, $0xab1c5ed5
+DATA kernel4K256<>+0x20(SB)/4, $0xd807aa98
+DATA kernel4K256<>+0x24(SB)/4, $0x12835b01
+DATA kernel4K256<>+0x28(SB)/4, $0x243185be
+DATA kernel4K256<>+0x2c(SB)/4, $0x550c7dc3
+DATA kernel4K256<>+0x30(SB)/4, $0x72be5d74
+DATA kernel4K256<>+0x34(SB)/4, $0x80deb1fe
+DATA kernel4K256<>+0x38(SB)/4, $0x9bdc06a7
+DATA kernel4K256<>+0x3c(SB)/4, $0xc19bf174
+DATA kernel4K256<>+0x40(SB)/4, $0xe49b69c1
+DATA kernel4K256<>+0x44(SB)/4, $0xefbe4786
+DATA kernel4K256<>+0x48(SB)/4, $0x0fc19dc6
+DATA kernel4K256<>+0x4c(SB)/4, $0x240ca1cc
+DATA kernel4K256<>+0x50(SB)/4, $0x2de92c6f
+DATA kernel4K256<>+0x54(SB)/4, $0x4a7484aa
+DATA kernel4K256<>+0x58(SB)/4, $0x5cb0a9dc
+DATA kernel4K256<>+0x5c(SB)/4, $0x76f988da
+DATA kernel4K256<>+0x60(SB)/4, $0x983e5152
+DATA kernel4K256<>+0x64(SB)/4, $0xa831c66d
+DATA kernel4K256<>+0x68(SB)/4, $0xb00327c8
+DATA kernel4K256<>+0x6c(SB)/4, $0xbf597fc7
+DATA kernel4K256<>+0x70(SB)/4, $0xc6e00bf3
+DATA kernel4K256<>+0x74(SB)/4, $0xd5a79147
+DATA kernel4K256<>+0x78(SB)/4, $0x06ca6351
+DATA kernel4K256<>+0x7c(SB)/4, $0x14292967
+DATA kernel4K256<>+0x80(SB)/4, $0x27b70a85
+DATA kernel4K256<>+0x84(SB)/4, $0x2e1b2138
+DATA kernel4K256<>+0x88(SB)/4, $0x4d2c6dfc
+DATA kernel4K256<>+0x8c(SB)/4, $0x53380d13
+DATA kernel4K256<>+0x90(SB)/4, $0x650a7354
+DATA kernel4K256<>+0x94(SB)/4, $0x766a0abb
+DATA kernel4K256<>+0x98(SB)/4, $0x81c2c92e
+DATA kernel4K256<>+0x9c(SB)/4, $0x92722c85
+DATA kernel4K256<>+0xa0(SB)/4, $0xa2bfe8a1
+DATA kernel4K256<>+0xa4(SB)/4, $0xa81a664b
+DATA kernel4K256<>+0xa8(SB)/4, $0xc24b8b70
+DATA kernel4K256<>+0xac(SB)/4, $0xc76c51a3
+DATA kernel4K256<>+0xb0(SB)/4, $0xd192e819
+DATA kernel4K256<>+0xb4(SB)/4, $0xd6990624
+DATA kernel4K256<>+0xb8(SB)/4, $0xf40e3585
+DATA kernel4K256<>+0xbc(SB)/4, $0x106aa070
+DATA kernel4K256<>+0xc0(SB)/4, $0x19a4c116
+DATA kernel4K256<>+0xc4(SB)/4, $0x1e376c08
+DATA kernel4K256<>+0xc8(SB)/4, $0x2748774c
+DATA kernel4K256<>+0xcc(SB)/4, $0x34b0bcb5
+DATA kernel4K256<>+0xd0(SB)/4, $0x391c0cb3
+DATA kernel4K256<>+0xd4(SB)/4, $0x4ed8aa4a
+DATA kernel4K256<>+0xd8(SB)/4, $0x5b9cca4f
+DATA kernel4K256<>+0xdc(SB)/4, $0x682e6ff3
+DATA kernel4K256<>+0xe0(SB)/4, $0x748f82ee
+DATA kernel4K256<>+0xe4(SB)/4, $0x78a5636f
+DATA kernel4K256<>+0xe8(SB)/4, $0x84c87814
+DATA kernel4K256<>+0xec(SB)/4, $0x8cc70208
+DATA kernel4K256<>+0xf0(SB)/4, $0x90befffa
+DATA kernel4K256<>+0xf4(SB)/4, $0xa4506ceb
+DATA kernel4K256<>+0xf8(SB)/4, $0xbef9a3f7
+DATA kernel4K256<>+0xfc(SB)/4, $0xc67178f2
+GLOBL kernel4K256<>(SB), RODATA, $256
+
+// Byte-swap mask: big-endian message words from little-endian loads.
+DATA kernel4Flip<>+0(SB)/8, $0x0405060700010203
+DATA kernel4Flip<>+8(SB)/8, $0x0c0d0e0f08090a0b
+GLOBL kernel4Flip<>(SB), RODATA, $16

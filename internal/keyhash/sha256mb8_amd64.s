@@ -1,0 +1,220 @@
+// Eight-lane transposed SHA-256 compression for the avx2 keyed-hash
+// kernel.
+//
+// func sha256mb8(state *[64]uint32, w *[512]uint32)
+//
+// Everything is transposed: row t of w (32 bytes) holds word t of
+// eight independent message schedules, row i of state holds h[i] of
+// eight independent states. One call folds one 64-byte block of all
+// eight messages. The Go side fills rows 0..15 (byte-swapped message
+// words); this routine extends rows 16..63 in place, then runs the 64
+// rounds with the eight states living in Y0..Y7 under a rotating role
+// assignment, so the only memory traffic in the round loop is one
+// schedule row load and one broadcast constant per round.
+//
+// Requires AVX2 (the Go side also gates on BMI2 + OS YMM state).
+
+#include "textflag.h"
+
+// One transposed round for all 8 lanes. The register playing each role
+// rotates every round (the register that held h exits as the new a):
+//   h += Sigma1(e) + Ch(e,f,g) + K[t] + W[t]   (= T1)
+//   d += T1
+//   h += Sigma0(a) + Maj(a,b,c)                (= T1 + T2, the new a)
+// Ch  = g ^ (e & (f ^ g)),  Maj = (a & (b ^ c)) ^ (b & c).
+// Temps: Y12-Y14.
+#define R8(koff, woff, a, b, c, d, e, f, g, h) \
+	VPSRLD $6, e, Y12    \
+	VPSLLD $26, e, Y13   \
+	VPOR   Y13, Y12, Y12 \
+	VPSRLD $11, e, Y13   \
+	VPSLLD $21, e, Y14   \
+	VPOR   Y14, Y13, Y13 \
+	VPXOR  Y13, Y12, Y12 \
+	VPSRLD $25, e, Y13   \
+	VPSLLD $7, e, Y14    \
+	VPOR   Y14, Y13, Y13 \
+	VPXOR  Y13, Y12, Y12 \
+	VPADDD Y12, h, h     \
+	VPXOR  g, f, Y13     \
+	VPAND  e, Y13, Y13   \
+	VPXOR  g, Y13, Y13   \
+	VPADDD Y13, h, h     \
+	VPBROADCASTD koff(AX), Y14 \
+	VPADDD Y14, h, h     \
+	VPADDD woff(DX), h, h \
+	VPADDD h, d, d       \
+	VPSRLD $2, a, Y12    \
+	VPSLLD $30, a, Y13   \
+	VPOR   Y13, Y12, Y12 \
+	VPSRLD $13, a, Y13   \
+	VPSLLD $19, a, Y14   \
+	VPOR   Y14, Y13, Y13 \
+	VPXOR  Y13, Y12, Y12 \
+	VPSRLD $22, a, Y13   \
+	VPSLLD $10, a, Y14   \
+	VPOR   Y14, Y13, Y13 \
+	VPXOR  Y13, Y12, Y12 \
+	VPADDD Y12, h, h     \
+	VPXOR  c, b, Y13     \
+	VPAND  a, Y13, Y13   \
+	VPAND  c, b, Y14     \
+	VPXOR  Y14, Y13, Y13 \
+	VPADDD Y13, h, h
+
+// Eight rounds: one full rotation of the role assignment.
+#define OCT(kb, wb) \
+	R8(kb+0, wb+0, Y0, Y1, Y2, Y3, Y4, Y5, Y6, Y7)    \
+	R8(kb+4, wb+32, Y7, Y0, Y1, Y2, Y3, Y4, Y5, Y6)   \
+	R8(kb+8, wb+64, Y6, Y7, Y0, Y1, Y2, Y3, Y4, Y5)   \
+	R8(kb+12, wb+96, Y5, Y6, Y7, Y0, Y1, Y2, Y3, Y4)  \
+	R8(kb+16, wb+128, Y4, Y5, Y6, Y7, Y0, Y1, Y2, Y3) \
+	R8(kb+20, wb+160, Y3, Y4, Y5, Y6, Y7, Y0, Y1, Y2) \
+	R8(kb+24, wb+192, Y2, Y3, Y4, Y5, Y6, Y7, Y0, Y1) \
+	R8(kb+28, wb+224, Y1, Y2, Y3, Y4, Y5, Y6, Y7, Y0)
+
+TEXT ·sha256mb8(SB), NOSPLIT, $0-16
+	MOVQ state+0(FP), DI
+	MOVQ w+8(FP), DX
+	LEAQ avx2K256<>+0(SB), AX
+
+	// Extend the schedule: rows t = 16..63 (byte offsets 512..2016),
+	// W[t] = sigma1(W[t-2]) + W[t-7] + sigma0(W[t-15]) + W[t-16], all
+	// eight lanes per row. sigma1 = rotr17^rotr19^shr10, sigma0 =
+	// rotr7^rotr18^shr3.
+	MOVQ $512, CX
+extLoop:
+	VMOVDQU -64(DX)(CX*1), Y8
+	VPSRLD  $17, Y8, Y9
+	VPSLLD  $15, Y8, Y10
+	VPOR    Y10, Y9, Y9
+	VPSRLD  $19, Y8, Y10
+	VPSLLD  $13, Y8, Y11
+	VPOR    Y11, Y10, Y10
+	VPXOR   Y10, Y9, Y9
+	VPSRLD  $10, Y8, Y10
+	VPXOR   Y10, Y9, Y9
+	VMOVDQU -480(DX)(CX*1), Y8
+	VPSRLD  $7, Y8, Y10
+	VPSLLD  $25, Y8, Y11
+	VPOR    Y11, Y10, Y10
+	VPSRLD  $18, Y8, Y11
+	VPSLLD  $14, Y8, Y12
+	VPOR    Y12, Y11, Y11
+	VPXOR   Y11, Y10, Y10
+	VPSRLD  $3, Y8, Y11
+	VPXOR   Y11, Y10, Y10
+	VPADDD  Y10, Y9, Y9
+	VPADDD  -224(DX)(CX*1), Y9, Y9
+	VPADDD  -512(DX)(CX*1), Y9, Y9
+	VMOVDQU Y9, (DX)(CX*1)
+	ADDQ    $32, CX
+	CMPQ    CX, $2048
+	JNE     extLoop
+
+	// States a..h into Y0..Y7.
+	VMOVDQU (DI), Y0
+	VMOVDQU 32(DI), Y1
+	VMOVDQU 64(DI), Y2
+	VMOVDQU 96(DI), Y3
+	VMOVDQU 128(DI), Y4
+	VMOVDQU 160(DI), Y5
+	VMOVDQU 192(DI), Y6
+	VMOVDQU 224(DI), Y7
+
+	OCT(0, 0)
+	OCT(32, 256)
+	OCT(64, 512)
+	OCT(96, 768)
+	OCT(128, 1024)
+	OCT(160, 1280)
+	OCT(192, 1536)
+	OCT(224, 1792)
+
+	// Feed-forward: add the incoming states, store back.
+	VPADDD  (DI), Y0, Y0
+	VMOVDQU Y0, (DI)
+	VPADDD  32(DI), Y1, Y1
+	VMOVDQU Y1, 32(DI)
+	VPADDD  64(DI), Y2, Y2
+	VMOVDQU Y2, 64(DI)
+	VPADDD  96(DI), Y3, Y3
+	VMOVDQU Y3, 96(DI)
+	VPADDD  128(DI), Y4, Y4
+	VMOVDQU Y4, 128(DI)
+	VPADDD  160(DI), Y5, Y5
+	VMOVDQU Y5, 160(DI)
+	VPADDD  192(DI), Y6, Y6
+	VMOVDQU Y6, 192(DI)
+	VPADDD  224(DI), Y7, Y7
+	VMOVDQU Y7, 224(DI)
+
+	VZEROUPPER
+	RET
+
+// SHA-256 round constants, flat layout for VPBROADCASTD.
+DATA avx2K256<>+0x00(SB)/4, $0x428a2f98
+DATA avx2K256<>+0x04(SB)/4, $0x71374491
+DATA avx2K256<>+0x08(SB)/4, $0xb5c0fbcf
+DATA avx2K256<>+0x0c(SB)/4, $0xe9b5dba5
+DATA avx2K256<>+0x10(SB)/4, $0x3956c25b
+DATA avx2K256<>+0x14(SB)/4, $0x59f111f1
+DATA avx2K256<>+0x18(SB)/4, $0x923f82a4
+DATA avx2K256<>+0x1c(SB)/4, $0xab1c5ed5
+DATA avx2K256<>+0x20(SB)/4, $0xd807aa98
+DATA avx2K256<>+0x24(SB)/4, $0x12835b01
+DATA avx2K256<>+0x28(SB)/4, $0x243185be
+DATA avx2K256<>+0x2c(SB)/4, $0x550c7dc3
+DATA avx2K256<>+0x30(SB)/4, $0x72be5d74
+DATA avx2K256<>+0x34(SB)/4, $0x80deb1fe
+DATA avx2K256<>+0x38(SB)/4, $0x9bdc06a7
+DATA avx2K256<>+0x3c(SB)/4, $0xc19bf174
+DATA avx2K256<>+0x40(SB)/4, $0xe49b69c1
+DATA avx2K256<>+0x44(SB)/4, $0xefbe4786
+DATA avx2K256<>+0x48(SB)/4, $0x0fc19dc6
+DATA avx2K256<>+0x4c(SB)/4, $0x240ca1cc
+DATA avx2K256<>+0x50(SB)/4, $0x2de92c6f
+DATA avx2K256<>+0x54(SB)/4, $0x4a7484aa
+DATA avx2K256<>+0x58(SB)/4, $0x5cb0a9dc
+DATA avx2K256<>+0x5c(SB)/4, $0x76f988da
+DATA avx2K256<>+0x60(SB)/4, $0x983e5152
+DATA avx2K256<>+0x64(SB)/4, $0xa831c66d
+DATA avx2K256<>+0x68(SB)/4, $0xb00327c8
+DATA avx2K256<>+0x6c(SB)/4, $0xbf597fc7
+DATA avx2K256<>+0x70(SB)/4, $0xc6e00bf3
+DATA avx2K256<>+0x74(SB)/4, $0xd5a79147
+DATA avx2K256<>+0x78(SB)/4, $0x06ca6351
+DATA avx2K256<>+0x7c(SB)/4, $0x14292967
+DATA avx2K256<>+0x80(SB)/4, $0x27b70a85
+DATA avx2K256<>+0x84(SB)/4, $0x2e1b2138
+DATA avx2K256<>+0x88(SB)/4, $0x4d2c6dfc
+DATA avx2K256<>+0x8c(SB)/4, $0x53380d13
+DATA avx2K256<>+0x90(SB)/4, $0x650a7354
+DATA avx2K256<>+0x94(SB)/4, $0x766a0abb
+DATA avx2K256<>+0x98(SB)/4, $0x81c2c92e
+DATA avx2K256<>+0x9c(SB)/4, $0x92722c85
+DATA avx2K256<>+0xa0(SB)/4, $0xa2bfe8a1
+DATA avx2K256<>+0xa4(SB)/4, $0xa81a664b
+DATA avx2K256<>+0xa8(SB)/4, $0xc24b8b70
+DATA avx2K256<>+0xac(SB)/4, $0xc76c51a3
+DATA avx2K256<>+0xb0(SB)/4, $0xd192e819
+DATA avx2K256<>+0xb4(SB)/4, $0xd6990624
+DATA avx2K256<>+0xb8(SB)/4, $0xf40e3585
+DATA avx2K256<>+0xbc(SB)/4, $0x106aa070
+DATA avx2K256<>+0xc0(SB)/4, $0x19a4c116
+DATA avx2K256<>+0xc4(SB)/4, $0x1e376c08
+DATA avx2K256<>+0xc8(SB)/4, $0x2748774c
+DATA avx2K256<>+0xcc(SB)/4, $0x34b0bcb5
+DATA avx2K256<>+0xd0(SB)/4, $0x391c0cb3
+DATA avx2K256<>+0xd4(SB)/4, $0x4ed8aa4a
+DATA avx2K256<>+0xd8(SB)/4, $0x5b9cca4f
+DATA avx2K256<>+0xdc(SB)/4, $0x682e6ff3
+DATA avx2K256<>+0xe0(SB)/4, $0x748f82ee
+DATA avx2K256<>+0xe4(SB)/4, $0x78a5636f
+DATA avx2K256<>+0xe8(SB)/4, $0x84c87814
+DATA avx2K256<>+0xec(SB)/4, $0x8cc70208
+DATA avx2K256<>+0xf0(SB)/4, $0x90befffa
+DATA avx2K256<>+0xf4(SB)/4, $0xa4506ceb
+DATA avx2K256<>+0xf8(SB)/4, $0xbef9a3f7
+DATA avx2K256<>+0xfc(SB)/4, $0xc67178f2
+GLOBL avx2K256<>(SB), RODATA, $256

@@ -2,16 +2,19 @@ package keyhash
 
 import "sync/atomic"
 
-// Process-wide kernel invocation counters, one pair per backend. They
-// back the wm_keyhash_* sampled families in /metrics: two atomic adds
-// per HashMany call (i.e. per block lane, not per value), so the hash
-// hot loop itself is untouched.
-var (
-	portableCalls  atomic.Uint64
-	portableValues atomic.Uint64
-	multiCalls     atomic.Uint64
-	multiValues    atomic.Uint64
-)
+// kernelCounters is one backend's process-wide HashMany activity: two
+// atomic adds per HashMany call (i.e. per block lane, not per value), so
+// the hash hot loop itself is untouched. Each backendDef owns a pair;
+// kernels tick the pair of the def that built them.
+type kernelCounters struct {
+	calls  atomic.Uint64
+	values atomic.Uint64
+}
+
+func (c *kernelCounters) tick(values int) {
+	c.calls.Add(1)
+	c.values.Add(uint64(values))
+}
 
 // KernelCounters is the cumulative HashMany activity of one backend.
 type KernelCounters struct {
@@ -21,10 +24,16 @@ type KernelCounters struct {
 
 // KernelStats reports per-backend HashMany totals for this process,
 // keyed by the concrete kernel kind (KernelAuto resolves to whichever
-// backend it picked, so it never appears as a key).
+// backend it picked, so it never appears as a key). The map is built
+// from the backend registry, so every kind NewKernel accepts appears —
+// a new backend can't silently vanish from /metrics.
 func KernelStats() map[KernelKind]KernelCounters {
-	return map[KernelKind]KernelCounters{
-		KernelPortable:    {Calls: portableCalls.Load(), Values: portableValues.Load()},
-		KernelMultiBuffer: {Calls: multiCalls.Load(), Values: multiValues.Load()},
+	out := make(map[KernelKind]KernelCounters, len(registry))
+	for _, d := range registry {
+		out[d.kind] = KernelCounters{
+			Calls:  d.counters.calls.Load(),
+			Values: d.counters.values.Load(),
+		}
 	}
+	return out
 }

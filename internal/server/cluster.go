@@ -16,6 +16,7 @@ import (
 	"repro/internal/api"
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/keyhash"
 	"repro/internal/relation"
 )
 
@@ -63,10 +64,21 @@ func (s *Server) Join() {
 	if s.cfg.Log != nil {
 		opts = append(opts, cluster.WithAgentLogger(s.cfg.Log))
 	}
+	// Advertise the hash backend this worker scans with and its
+	// calibrated rate — the coordinator seeds shard-size autotuning with
+	// them until it has observed real per-shard throughput. A pinned
+	// -kernel advertises the pinned backend's measured rate.
+	cal := keyhash.Calibrate()
+	kind := s.cfg.HashKernel
+	if kind == keyhash.KernelAuto {
+		kind = cal.Kind
+	}
 	s.agent = cluster.StartAgent(cc.JoinURL, api.WorkerRegistration{
-		ID:       cc.WorkerID,
-		URL:      cc.AdvertiseURL,
-		Capacity: capacity,
+		ID:           cc.WorkerID,
+		URL:          cc.AdvertiseURL,
+		Capacity:     capacity,
+		Kernel:       string(kind),
+		HashesPerSec: cal.HashesPerSec[kind],
 	}, opts...)
 }
 
@@ -101,8 +113,9 @@ func (s *Server) handleInternalScan(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp, err := cluster.ExecuteShard(r.Context(), req, core.BatchOptions{
-		Workers: s.workersFor(req.Workers),
-		Cache:   s.cache,
+		Workers:    s.workersFor(req.Workers),
+		Cache:      s.cache,
+		HashKernel: s.cfg.HashKernel,
 	})
 	if err != nil {
 		if aerr := ctxErr(err); aerr != nil {

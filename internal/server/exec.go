@@ -151,8 +151,9 @@ func (s *Server) execVerify(ctx context.Context, req api.VerifyRequest) (*api.Ve
 		return nil, api.Errorf(api.CodeInvalidArgument, "relation: %v", err)
 	}
 	rep, err := rec.VerifyContext(ctx, suspect, core.VerifyOptions{
-		Workers: s.workersFor(req.Workers),
-		Cache:   s.cache,
+		Workers:    s.workersFor(req.Workers),
+		Cache:      s.cache,
+		HashKernel: s.cfg.HashKernel,
 	})
 	if err != nil {
 		if aerr := ctxErr(err); aerr != nil {
@@ -224,9 +225,10 @@ func (s *Server) execVerifyBatchScan(ctx context.Context, ids []string, explicit
 	}
 
 	opts := core.BatchOptions{
-		Workers:  s.workersFor(workers),
-		Cache:    s.cache,
-		Progress: progress,
+		Workers:    s.workersFor(workers),
+		Cache:      s.cache,
+		Progress:   progress,
+		HashKernel: s.cfg.HashKernel,
 	}
 	// A coordinator with live workers fans the scan out across the
 	// cluster; the merged result is bit-identical to the local pass (the

@@ -58,6 +58,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/jobs"
+	"repro/internal/keyhash"
 	"repro/internal/obs"
 	"repro/internal/relation"
 	"repro/internal/server/store"
@@ -86,6 +87,11 @@ type Config struct {
 	// JobRetain bounds how many finished jobs stay pollable; <= 0 means
 	// jobs.DefaultRetain.
 	JobRetain int
+	// HashKernel pins the batched keyed-hash backend every scan on this
+	// server runs on (wmserver -kernel). Empty means keyhash.KernelAuto:
+	// the backend the startup micro-benchmark measures fastest on this
+	// machine. Verdicts are identical across backends.
+	HashKernel keyhash.KernelKind
 	// Cluster selects the distributed-audit role (single node by
 	// default): a coordinator fans verify_batch audits out across joined
 	// workers, a worker heartbeats a coordinator and serves shard scans.
@@ -612,6 +618,22 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			RetainCap: int(snap["wm_jobs_retain_capacity"]),
 		},
 		"cluster": s.clusterStatus(),
+	}
+	// The hash-kernel block: which batched keyed-hash backend scans on
+	// this node run on, whether it was pinned (-kernel) or chosen by the
+	// startup micro-benchmark, and the measured rate of every available
+	// backend. Same source of truth as the wm_keyhash_calibration_*
+	// metric families.
+	cal := keyhash.Calibrate()
+	selected := s.cfg.HashKernel
+	if selected == keyhash.KernelAuto {
+		selected = cal.Kind
+	}
+	body["hash_kernel"] = map[string]any{
+		"selected":       string(selected),
+		"pinned":         s.cfg.HashKernel != keyhash.KernelAuto,
+		"calibrated":     string(cal.Kind),
+		"hashes_per_sec": cal.HashesPerSec,
 	}
 	if s.cache != nil {
 		body["scanner_cache"] = core.CacheStats{
