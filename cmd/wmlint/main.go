@@ -1,0 +1,92 @@
+// Command wmlint runs the repository's invariant analyzers
+// (internal/lint) over module packages and exits non-zero on findings.
+//
+// Usage:
+//
+//	wmlint [-json] [-only name,name] [-list] [packages...]
+//
+// With no package patterns it analyzes ./.... Each finding prints as
+//
+//	file:line:col: message (analyzer)
+//
+// or, with -json, as one JSON array of
+//
+//	{"analyzer","file","line","col","message"}
+//
+// objects on stdout. Exit status: 0 clean, 1 findings, 2 load/internal
+// failure. CI runs `go run ./cmd/wmlint ./...` in place of the shell
+// grep gates the analyzers replaced; run it locally before pushing.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array on stdout")
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: wmlint [-json] [-only name,name] [-list] [packages...]\n\n")
+		fmt.Fprintf(os.Stderr, "Runs the repo's invariant analyzers; exits 1 on findings.\n\nFlags:\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := lint.All()
+	if *only != "" {
+		var err error
+		analyzers, err = lint.ByName(*only)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, _, err := lint.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	diags, err := lint.Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []lint.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "wmlint: %d finding(s) across %d package(s)\n", len(diags), len(pkgs))
+		os.Exit(1)
+	}
+}

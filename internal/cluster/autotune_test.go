@@ -125,7 +125,7 @@ func TestSplitTask(t *testing.T) {
 	if err := w.Flush(); err != nil {
 		t.Fatal(err)
 	}
-	s := &scan{job: ScanJob{Schema: f.spec}}
+	s := &scan{job: ScanJob{Schema: f.spec}, ctx: context.Background()}
 	task := &shardTask{
 		idx: 7, data: buf.String(), rows: 101, attempts: 1,
 		failed: map[string]bool{"w-dead": true},

@@ -507,6 +507,9 @@ func (s *scan) splitTask(task *shardTask) ([]*shardTask, error) {
 	sizes := [2]int{task.rows / 2, task.rows - task.rows/2}
 	children := make([]*shardTask, 0, len(sizes))
 	for sub, want := range sizes {
+		if err := s.ctx.Err(); err != nil {
+			return nil, err
+		}
 		var buf strings.Builder
 		w, err := relation.NewCSVRowWriter(&buf, schema)
 		if err != nil {

@@ -157,6 +157,7 @@ func withBeatHook(fn func(error)) AgentOption {
 // a crash and a clean stop look the same, which is the failure model the
 // scheduler is built for anyway).
 func StartAgent(coordinatorURL string, reg api.WorkerRegistration, opts ...AgentOption) *Agent {
+	//wmlint:ignore ctxloop agent lifecycle outlives any single request; Agent.Stop cancels this root
 	ctx, cancel := context.WithCancel(context.Background())
 	a := &Agent{
 		coordinator: coordinatorURL,

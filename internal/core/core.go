@@ -136,6 +136,7 @@ func (s Spec) freqKey() keyhash.Key {
 // It is WatermarkContext with a background context — embedding cannot be
 // cancelled mid-pass through this entry point.
 func Watermark(r *relation.Relation, s Spec) (*Record, Stats, error) {
+	//wmlint:ignore ctxloop compatibility entry point documented as uncancellable; WatermarkContext is the cancellable path
 	return WatermarkContext(context.Background(), r, s)
 }
 
@@ -259,6 +260,7 @@ type Report struct {
 // retries. The frequency channel, when present, is scored as a secondary
 // witness. The suspect relation is never modified.
 func (rec *Record) Verify(suspect *relation.Relation) (Report, error) {
+	//wmlint:ignore ctxloop compatibility entry point; VerifyContext is the cancellable path
 	return rec.verify(context.Background(), suspect, VerifyOptions{})
 }
 
@@ -268,6 +270,7 @@ func (rec *Record) Verify(suspect *relation.Relation) (Report, error) {
 // negative means runtime.NumCPU(). The recovered bit string is
 // bit-identical to Verify's.
 func (rec *Record) VerifyParallel(suspect *relation.Relation, workers int) (Report, error) {
+	//wmlint:ignore ctxloop compatibility entry point; VerifyContext is the cancellable path
 	return rec.verify(context.Background(), suspect, VerifyOptions{Workers: workers})
 }
 
@@ -289,6 +292,7 @@ type VerifyOptions struct {
 // VerifyWith is Verify with an explicit worker count and an optional
 // prepared-scanner cache; results are identical to Verify's.
 func (rec *Record) VerifyWith(suspect *relation.Relation, o VerifyOptions) (Report, error) {
+	//wmlint:ignore ctxloop compatibility entry point; VerifyContext is the cancellable path
 	return rec.verify(context.Background(), suspect, o)
 }
 

@@ -205,6 +205,7 @@ func NewManager(cfg Config) *Manager {
 	if cfg.Retain <= 0 {
 		cfg.Retain = DefaultRetain
 	}
+	//wmlint:ignore ctxloop jobs outlive the submitting request by design; Manager.Close cancels this root
 	ctx, stop := context.WithCancel(context.Background())
 	m := &Manager{
 		cfg:      cfg,

@@ -1,0 +1,62 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Determinism protects the property every distributed-correctness test
+// asserts: merged audit reports are bit-identical no matter how the scan
+// was sharded. The tally-merge/report code (internal/mark, the ECC
+// decode it feeds, and the core verification bracket) therefore must not
+// read clocks, draw randomness, or iterate maps in a way that can feed
+// output order. Order-independent map reductions carry //wmlint:ignore
+// directives explaining why they are safe.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc: "tally-merge/report paths (internal/mark, internal/ecc, internal/core) must be " +
+		"bit-identical across cluster topologies: no time.Now/Since, no math/rand or " +
+		"crypto/rand, no range over maps",
+	Applies: pathIn("repro/internal/mark", "repro/internal/ecc", "repro/internal/core"),
+	Run:     runDeterminism,
+}
+
+var nondeterministicImports = []string{"math/rand", "math/rand/v2", "crypto/rand"}
+
+func runDeterminism(pass *Pass) error {
+	info := pass.Pkg.Info
+	forEachFile(pass, func(f *ast.File) {
+		for _, spec := range f.Imports {
+			path := strings.Trim(spec.Path.Value, `"`)
+			for _, bad := range nondeterministicImports {
+				if path == bad {
+					pass.Reportf(spec.Pos(),
+						"%s imports %s — randomness in a tally-merge/report path breaks "+
+							"bit-identical reports across cluster topologies", pass.Pkg.Path, path)
+				}
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.CallExpr:
+				if calleeIn(info, x, "time", "Now", "Since", "Until") {
+					pass.Reportf(x.Pos(),
+						"clock read in a tally-merge/report path — results must not depend on wall time")
+				}
+			case *ast.RangeStmt:
+				tv, ok := info.Types[x.X]
+				if !ok || tv.Type == nil {
+					return true
+				}
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					pass.Reportf(x.Pos(),
+						"range over a map in a tally-merge/report path — iteration order is "+
+							"nondeterministic; sort keys first (or annotate an order-independent reduction)")
+				}
+			}
+			return true
+		})
+	})
+	return nil
+}

@@ -1,0 +1,136 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// pathIn returns an Applies func matching any of the given import paths
+// or their subpackages.
+func pathIn(paths ...string) func(string) bool {
+	return func(pkgPath string) bool {
+		for _, p := range paths {
+			if pkgPath == p || strings.HasPrefix(pkgPath, p+"/") {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// namedType unwraps pointers, slices, arrays and aliases down to a named
+// type, or nil when the underlying type is unnamed (struct literal,
+// map, chan, basic).
+func namedType(t types.Type) *types.Named {
+	for {
+		switch u := t.(type) {
+		case *types.Alias:
+			t = types.Unalias(u)
+		case *types.Pointer:
+			t = u.Elem()
+		case *types.Slice:
+			t = u.Elem()
+		case *types.Array:
+			t = u.Elem()
+		case *types.Named:
+			return u
+		default:
+			return nil
+		}
+	}
+}
+
+// isNamed reports whether t (possibly behind pointers/slices) is the
+// named type pkgPath.name.
+func isNamed(t types.Type, pkgPath, name string) bool {
+	n := namedType(t)
+	if n == nil {
+		return false
+	}
+	obj := n.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// calleeObject resolves a call expression to the function or method
+// object being invoked, or nil (builtins, calls through function-typed
+// values, type conversions).
+func calleeObject(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if obj, ok := info.Uses[fun].(*types.Func); ok {
+			return obj
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			return sel.Obj()
+		}
+		// Package-qualified call: pkg.Func.
+		if obj, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return obj
+		}
+	}
+	return nil
+}
+
+// calleeIn reports whether call invokes a function or method whose
+// defining package is pkgPath, optionally restricted to the given names
+// (no names = any).
+func calleeIn(info *types.Info, call *ast.CallExpr, pkgPath string, names ...string) bool {
+	obj := calleeObject(info, call)
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != pkgPath {
+		return false
+	}
+	if len(names) == 0 {
+		return true
+	}
+	for _, n := range names {
+		if obj.Name() == n {
+			return true
+		}
+	}
+	return false
+}
+
+// isConversion reports whether a call expression is a type conversion.
+func isConversion(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call.Fun]
+	return ok && tv.IsType()
+}
+
+// methodOn reports whether call is a method invocation named name whose
+// receiver type (behind pointers) is declared in recvPkg; recvNames
+// restricts the receiver type name (empty = any type of that package).
+func methodOn(info *types.Info, call *ast.CallExpr, recvPkg, name string, recvNames ...string) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	selection, ok := info.Selections[sel]
+	if !ok || selection.Kind() != types.MethodVal {
+		return false
+	}
+	n := namedType(selection.Recv())
+	if n == nil {
+		return false
+	}
+	obj := n.Obj()
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != recvPkg {
+		return false
+	}
+	if len(recvNames) == 0 {
+		return true
+	}
+	for _, rn := range recvNames {
+		if obj.Name() == rn {
+			return true
+		}
+	}
+	return false
+}
+
+// isContextExpr reports whether e's static type is context.Context.
+func isContextExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && isNamed(tv.Type, "context", "Context")
+}

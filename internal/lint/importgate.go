@@ -1,0 +1,112 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// ImportGate enforces per-package import allowlists — the layering
+// rules the architecture depends on, checked on real import data
+// instead of grep:
+//
+//   - internal/obs and internal/keyhash are stdlib-only. obs is the
+//     reason go.mod carries zero third-party requirements; keyhash is
+//     the hot path and must stay free of anything that could drag a
+//     dependency under the hash kernels.
+//   - internal/api (the wire contract) must not import the layers that
+//     implement it, or the contract stops being a leaf.
+//   - internal/core (the domain) must not reach up into transport,
+//     service or telemetry layers.
+var ImportGate = &Analyzer{
+	Name: "importgate",
+	Doc: "per-package import allowlists: internal/obs and internal/keyhash stdlib-only; " +
+		"internal/api and internal/core must not import their implementation layers",
+	Applies: func(pkgPath string) bool {
+		for _, r := range importRules {
+			if r.pkg == pkgPath {
+				return true
+			}
+		}
+		return false
+	},
+	Run: runImportGate,
+}
+
+// importRule constrains one package's import set.
+type importRule struct {
+	pkg string
+	// stdlibOnly forbids every non-standard-library import.
+	stdlibOnly bool
+	// deny forbids specific import paths (and their subpackages).
+	deny []string
+	// reason is appended to the diagnostic so the failure explains the
+	// architecture, not just the rule.
+	reason string
+}
+
+var importRules = []importRule{
+	{
+		pkg:        "repro/internal/obs",
+		stdlibOnly: true,
+		reason:     "the telemetry layer is why go.mod has zero third-party requirements",
+	},
+	{
+		pkg:        "repro/internal/keyhash",
+		stdlibOnly: true,
+		reason:     "the keyed-hash hot path must not grow dependencies",
+	},
+	{
+		pkg: "repro/internal/api",
+		deny: []string{
+			"repro/internal/server",
+			"repro/internal/cluster",
+			"repro/internal/client",
+			"repro/internal/jobs",
+			"repro/internal/pipeline",
+			"repro/internal/obs",
+		},
+		reason: "the wire contract must stay a leaf below its implementations",
+	},
+	{
+		pkg: "repro/internal/core",
+		deny: []string{
+			"repro/internal/api",
+			"repro/internal/server",
+			"repro/internal/cluster",
+			"repro/internal/client",
+			"repro/internal/jobs",
+			"repro/internal/obs",
+		},
+		reason: "the domain layer must not depend on transport, service or telemetry",
+	},
+}
+
+func runImportGate(pass *Pass) error {
+	var rule *importRule
+	for i := range importRules {
+		if importRules[i].pkg == pass.Pkg.Path {
+			rule = &importRules[i]
+			break
+		}
+	}
+	if rule == nil {
+		return nil
+	}
+	forEachFile(pass, func(f *ast.File) {
+		for _, spec := range f.Imports {
+			path := strings.Trim(spec.Path.Value, `"`)
+			if rule.stdlibOnly && !pass.Pkg.IsStdlib(path) && path != rule.pkg {
+				pass.Reportf(spec.Pos(),
+					"%s must stay stdlib-only but imports %q — %s", rule.pkg, path, rule.reason)
+				continue
+			}
+			for _, d := range rule.deny {
+				if path == d || strings.HasPrefix(path, d+"/") {
+					pass.Reportf(spec.Pos(),
+						"%s must not import %q — %s", rule.pkg, path, rule.reason)
+				}
+			}
+		}
+	})
+	return nil
+}

@@ -1,0 +1,333 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// SecretFlow enforces the invariant the whole ownership scheme rests on:
+// the keyed secret must stay secret. It taints watermark key material —
+// core.Spec.Secret / core.Record.Secret selections, keyhash.Key values,
+// and whole Spec/Record certificates — propagates the taint through
+// local assignments, conversions, formatting helpers and string
+// concatenation, and reports any tainted expression reaching an
+// observability or wire sink: log/slog calls, internal/obs metric and
+// label constructors, fmt.Errorf / errors.New error strings, fmt and
+// log printers, and internal/api wire-struct fields outside the
+// sanctioned /v2/internal/scan certificate path.
+var SecretFlow = &Analyzer{
+	Name: "secretflow",
+	Doc: "watermark key material (core.Spec.Secret, core.Record.Secret, keyhash.Key) " +
+		"must never flow into slog calls, obs metrics/labels, error strings, fmt/log " +
+		"printers, or unsanctioned internal/api wire fields",
+	Applies: func(pkgPath string) bool {
+		// Everything shipped: internal packages and the binaries. The
+		// runnable examples are pedagogical (some print key material on
+		// purpose to illustrate the court scenario) and stay out.
+		return strings.HasPrefix(pkgPath, "repro/internal/") || strings.HasPrefix(pkgPath, "repro/cmd/")
+	},
+	Run: runSecretFlow,
+}
+
+// secretContainer types: a whole value of one of these carries the
+// owner secret, so passing one to a sink leaks it (slog.Any("rec", rec)
+// serializes the Secret field along with everything else).
+var secretContainers = [][2]string{
+	{"repro/internal/core", "Spec"},
+	{"repro/internal/core", "Record"},
+}
+
+// secretFieldOwners are the named struct types whose field "Secret" is
+// key material when selected.
+var secretFieldOwners = [][2]string{
+	{"repro/internal/core", "Spec"},
+	{"repro/internal/core", "Record"},
+	{"repro/internal/api", "WatermarkRequest"},
+}
+
+// sanctionedWireFields are the internal/api fields certificates are
+// allowed to travel in: the /v2/internal/scan shard request (workers
+// cannot compute keyed hashes without the secret) and the inline
+// certificate of a verify request. Everything else in internal/api is
+// public surface and must stay secret-free.
+var sanctionedWireFields = map[string]bool{
+	"ShardScanRequest.Records": true,
+	"VerifyRequest.Record":     true,
+}
+
+func runSecretFlow(pass *Pass) error {
+	info := pass.Pkg.Info
+	s := &secretScan{pass: pass, info: info}
+	forEachFile(pass, func(f *ast.File) {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			s.tainted = make(map[types.Object]bool)
+			// Two propagation passes reach a fixpoint for the straight-
+			// line assignment chains that occur in practice (secret ->
+			// derived string -> logged value).
+			for i := 0; i < 2; i++ {
+				s.collectTaint(fd.Body)
+			}
+			s.checkSinks(fd.Body)
+		}
+	})
+	return nil
+}
+
+type secretScan struct {
+	pass    *Pass
+	info    *types.Info
+	tainted map[types.Object]bool
+}
+
+// collectTaint records local variables assigned from secretish
+// expressions.
+func (s *secretScan) collectTaint(body ast.Node) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range st.Rhs {
+				if i >= len(st.Lhs) {
+					break
+				}
+				if !s.secretish(rhs) {
+					continue
+				}
+				if id, ok := st.Lhs[i].(*ast.Ident); ok {
+					if obj := s.objectOf(id); obj != nil {
+						s.tainted[obj] = true
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			for i, v := range st.Values {
+				if i >= len(st.Names) {
+					break
+				}
+				if s.secretish(v) {
+					if obj := s.objectOf(st.Names[i]); obj != nil {
+						s.tainted[obj] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+func (s *secretScan) objectOf(id *ast.Ident) types.Object {
+	if obj := s.info.Defs[id]; obj != nil {
+		return obj
+	}
+	return s.info.Uses[id]
+}
+
+// secretish reports whether an expression carries key material.
+func (s *secretScan) secretish(e ast.Expr) bool {
+	e = ast.Unparen(e)
+	switch x := e.(type) {
+	case *ast.Ident:
+		if obj := s.objectOf(x); obj != nil && s.tainted[obj] {
+			return true
+		}
+	case *ast.SelectorExpr:
+		if x.Sel.Name == "Secret" {
+			if tv, ok := s.info.Types[x.X]; ok {
+				for _, owner := range secretFieldOwners {
+					if isNamed(tv.Type, owner[0], owner[1]) {
+						return true
+					}
+				}
+			}
+		}
+	case *ast.CallExpr:
+		if isConversion(s.info, x) && len(x.Args) == 1 {
+			if s.secretish(x.Args[0]) {
+				return true
+			}
+			break
+		}
+		if s.propagatingCall(x) {
+			for _, arg := range x.Args {
+				if s.secretish(arg) {
+					return true
+				}
+			}
+		}
+		// A method on key material that renders it (Key.String) yields
+		// key material.
+		if methodOn(s.info, x, "repro/internal/keyhash", "String", "Key") {
+			return true
+		}
+	case *ast.BinaryExpr:
+		if x.Op == token.ADD && (s.secretish(x.X) || s.secretish(x.Y)) {
+			return true
+		}
+	case *ast.CompositeLit:
+		for _, elt := range x.Elts {
+			v := elt
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				v = kv.Value
+			}
+			if s.secretish(v) {
+				return true
+			}
+		}
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			return s.secretish(x.X)
+		}
+	case *ast.StarExpr:
+		return s.secretish(x.X)
+	}
+	// Type-based: any value whose type is (or contains, behind
+	// pointers/slices) keyhash.Key or a certificate struct.
+	if tv, ok := s.info.Types[e]; ok && tv.Type != nil {
+		if isNamed(tv.Type, "repro/internal/keyhash", "Key") {
+			return true
+		}
+		for _, c := range secretContainers {
+			if isNamed(tv.Type, c[0], c[1]) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// propagatingCall reports whether a call forwards taint from its
+// arguments to its result (formatting and encoding helpers).
+func (s *secretScan) propagatingCall(call *ast.CallExpr) bool {
+	return calleeIn(s.info, call, "fmt", "Sprint", "Sprintf", "Sprintln", "Appendf") ||
+		calleeIn(s.info, call, "encoding/hex", "EncodeToString") ||
+		methodOn(s.info, call, "encoding/base64", "EncodeToString")
+}
+
+// checkSinks reports tainted expressions reaching a sink.
+func (s *secretScan) checkSinks(body ast.Node) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			s.checkCallSink(x)
+		case *ast.CompositeLit:
+			s.checkWireLit(x)
+		case *ast.AssignStmt:
+			s.checkWireAssign(x)
+		}
+		return true
+	})
+}
+
+func (s *secretScan) checkCallSink(call *ast.CallExpr) {
+	var sink string
+	switch {
+	case calleeIn(s.info, call, "log/slog"):
+		sink = "a log/slog call"
+	case calleeIn(s.info, call, "repro/internal/obs"):
+		sink = "an internal/obs metrics/observability call"
+	case calleeIn(s.info, call, "fmt", "Errorf"):
+		sink = "an error string (fmt.Errorf)"
+	case calleeIn(s.info, call, "errors", "New"):
+		sink = "an error string (errors.New)"
+	case calleeIn(s.info, call, "fmt", "Print", "Printf", "Println", "Fprint", "Fprintf", "Fprintln"):
+		sink = "a fmt printer"
+	case calleeIn(s.info, call, "log"):
+		sink = "a log package call"
+	default:
+		return
+	}
+	for _, arg := range call.Args {
+		if s.secretish(arg) {
+			s.pass.Reportf(arg.Pos(),
+				"watermark key material reaches %s — ownership is provable only while the secret stays secret", sink)
+		}
+	}
+}
+
+// checkWireLit flags secret material placed into an internal/api
+// composite literal outside the sanctioned certificate path.
+func (s *secretScan) checkWireLit(lit *ast.CompositeLit) {
+	tv, ok := s.info.Types[lit]
+	if !ok {
+		return
+	}
+	named := namedType(tv.Type)
+	if named == nil || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != "repro/internal/api" {
+		return
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	typeName := named.Obj().Name()
+	for i, elt := range lit.Elts {
+		v := elt
+		fieldName := ""
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			v = kv.Value
+			if id, ok := kv.Key.(*ast.Ident); ok {
+				fieldName = id.Name
+			}
+		} else if i < st.NumFields() {
+			fieldName = st.Field(i).Name()
+		}
+		if !s.secretish(v) {
+			continue
+		}
+		if sanctionedWireFields[typeName+"."+fieldName] {
+			continue
+		}
+		s.pass.Reportf(v.Pos(),
+			"watermark key material reaches wire field api.%s.%s — only the /v2/internal/scan certificate path (%s) may carry secrets",
+			typeName, fieldName, sanctionedList())
+	}
+}
+
+// checkWireAssign flags secret material assigned onto an internal/api
+// struct field outside the sanctioned certificate path.
+func (s *secretScan) checkWireAssign(st *ast.AssignStmt) {
+	for i, lhs := range st.Lhs {
+		if i >= len(st.Rhs) {
+			break
+		}
+		sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+		if !ok {
+			continue
+		}
+		tv, ok := s.info.Types[sel.X]
+		if !ok {
+			continue
+		}
+		named := namedType(tv.Type)
+		if named == nil || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != "repro/internal/api" {
+			continue
+		}
+		if !s.secretish(st.Rhs[i]) {
+			continue
+		}
+		key := named.Obj().Name() + "." + sel.Sel.Name
+		if sanctionedWireFields[key] {
+			continue
+		}
+		s.pass.Reportf(st.Rhs[i].Pos(),
+			"watermark key material reaches wire field api.%s — only the /v2/internal/scan certificate path (%s) may carry secrets",
+			key, sanctionedList())
+	}
+}
+
+func sanctionedList() string {
+	names := make([]string, 0, len(sanctionedWireFields))
+	for k := range sanctionedWireFields {
+		names = append(names, k)
+	}
+	// Two entries; keep the message stable without importing sort here.
+	if len(names) == 2 && names[0] > names[1] {
+		names[0], names[1] = names[1], names[0]
+	}
+	return strings.Join(names, ", ")
+}

@@ -1,0 +1,41 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// SlogOnly keeps the service layers on structured logging: since PR 6
+// every server/cluster/jobs log line flows through log/slog with
+// request-ID correlation, and a stray log.Printf or fmt.Println would
+// bypass level filtering, the JSON handler and the X-Request-ID chain.
+var SlogOnly = &Analyzer{
+	Name: "slogonly",
+	Doc: "internal/server, internal/cluster and internal/jobs log via log/slog only — " +
+		"no log.Print*/log.Fatal*/log.Panic* and no fmt.Print*/Println to stdout",
+	Applies: pathIn("repro/internal/server", "repro/internal/cluster", "repro/internal/jobs"),
+	Run:     runSlogOnly,
+}
+
+func runSlogOnly(pass *Pass) error {
+	info := pass.Pkg.Info
+	forEachFile(pass, func(f *ast.File) {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch {
+			case calleeIn(info, call, "log",
+				"Print", "Printf", "Println", "Fatal", "Fatalf", "Fatalln", "Panic", "Panicf", "Panicln"):
+				pass.Reportf(call.Pos(),
+					"%s calls the legacy log package — service layers log via log/slog "+
+						"(levels, JSON handler, request-ID correlation)", pass.Pkg.Path)
+			case calleeIn(info, call, "fmt", "Print", "Printf", "Println"):
+				pass.Reportf(call.Pos(),
+					"%s prints to stdout via fmt — service layers log via log/slog", pass.Pkg.Path)
+			}
+			return true
+		})
+	})
+	return nil
+}

@@ -1,0 +1,67 @@
+// Package fixture exercises both ctxloop rules: block/row-crossing
+// loops without a cancellation point, detached contexts, and the
+// compliant loop shapes that must pass.
+//
+//wmlint:fixture repro/internal/pipeline
+package fixture
+
+import (
+	"context"
+
+	"repro/internal/mark"
+	"repro/internal/relation"
+)
+
+func scanNoCancel(sc *mark.Scanner, r *relation.Relation, t *mark.Tally) error {
+	var bs mark.BlockScratch
+	for lo := 0; lo < r.Len(); lo += 128 { // want `loop crosses scan-block/row boundaries`
+		if err := sc.ScanBlock(r, lo, min(lo+128, r.Len()), t, &bs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func readNoCancel(src relation.RowReader) error {
+	for { // want `loop crosses scan-block/row boundaries`
+		if _, err := src.Read(); err != nil {
+			return err
+		}
+	}
+}
+
+func scanWithCancel(ctx context.Context, sc *mark.Scanner, r *relation.Relation, t *mark.Tally) error {
+	var bs mark.BlockScratch
+	for lo := 0; lo < r.Len(); lo += 128 {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if err := sc.ScanBlock(r, lo, min(lo+128, r.Len()), t, &bs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func readWithStopLatch(src relation.RowReader, stop chan struct{}) error {
+	stopped := func() bool {
+		select {
+		case <-stop:
+			return true
+		default:
+			return false
+		}
+	}
+	for {
+		if stopped() {
+			return nil
+		}
+		if _, err := src.Read(); err != nil {
+			return err
+		}
+	}
+}
+
+func detached() context.Context {
+	return context.Background() // want `calls context.Background`
+}

@@ -1,0 +1,36 @@
+// Package fixture reads clocks, draws randomness and ranges over maps
+// inside the tally-merge/report scope determinism protects; the
+// annotated reduction shows how a deliberate map walk is declared.
+//
+//wmlint:fixture repro/internal/mark
+package fixture
+
+import (
+	"math/rand" // want `imports math/rand`
+	"time"
+)
+
+func clock() int64 {
+	return time.Now().UnixNano() // want `clock read in a tally-merge/report path`
+}
+
+func draw() int { return rand.Int() }
+
+func mapOrder(m map[string]int) int {
+	s := 0
+	for _, v := range m { // want `range over a map`
+		s += v
+	}
+	return s
+}
+
+func mapOrderDeclared(m map[string]int) int {
+	best := 0
+	//wmlint:ignore determinism order-independent max reduction
+	for _, v := range m {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}

@@ -1,0 +1,8 @@
+// Package fixture violates the stdlib-only rule for internal/obs.
+//
+//wmlint:fixture repro/internal/obs
+package fixture
+
+import (
+	_ "repro/internal/relation" // want `must stay stdlib-only`
+)

@@ -1,0 +1,9 @@
+// Package fixture makes the wire contract import one of its
+// implementation layers, which importgate forbids.
+//
+//wmlint:fixture repro/internal/api
+package fixture
+
+import (
+	_ "repro/internal/pipeline" // want `must not import`
+)

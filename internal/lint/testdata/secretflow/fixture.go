@@ -1,0 +1,55 @@
+// Package fixture deliberately leaks watermark key material through
+// every sink class secretflow guards — logs, error strings, printers,
+// observability calls and wire fields — and walks the sanctioned
+// /v2/internal/scan certificate path as the negative case.
+//
+//wmlint:fixture repro/internal/server
+package fixture
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log/slog"
+
+	"repro/internal/api"
+	"repro/internal/core"
+	"repro/internal/keyhash"
+	"repro/internal/obs"
+)
+
+func leakDirect(spec core.Spec) {
+	slog.Info("watermarking", "secret", spec.Secret) // want `key material reaches a log/slog call`
+}
+
+func leakViaLocal(rec *core.Record) error {
+	hint := "certificate " + rec.Secret
+	return fmt.Errorf("verify failed: %s", hint) // want `key material reaches an error string`
+}
+
+func leakKeyString(k keyhash.Key) {
+	fmt.Println(k.String()) // want `key material reaches a fmt printer`
+}
+
+func leakWholeRecord(rec *core.Record) error {
+	return errors.New(fmt.Sprint(rec)) // want `key material reaches an error string`
+}
+
+func leakToObs(ctx context.Context, spec core.Spec) context.Context {
+	return obs.WithRequestID(ctx, spec.Secret) // want `internal/obs metrics/observability call`
+}
+
+func leakWireAssign(req *api.WatermarkRequest, spec core.Spec) {
+	req.Secret = spec.Secret // want `wire field api.WatermarkRequest.Secret`
+}
+
+func leakWireLit(rec *core.Record) api.VerifyRequest {
+	return api.VerifyRequest{ID: rec.Secret} // want `wire field api.VerifyRequest.ID`
+}
+
+// sanctioned is the negative case: ShardScanRequest.Records and
+// VerifyRequest.Record are the certificate path workers need secrets on.
+func sanctioned(rec *core.Record) (api.ShardScanRequest, api.VerifyRequest) {
+	return api.ShardScanRequest{Records: []*core.Record{rec}},
+		api.VerifyRequest{Record: rec}
+}

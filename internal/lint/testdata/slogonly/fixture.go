@@ -1,0 +1,17 @@
+// Package fixture logs through the channels slogonly forbids in the
+// service layers; the slog call shows the sanctioned route passes.
+//
+//wmlint:fixture repro/internal/server
+package fixture
+
+import (
+	"fmt"
+	"log"
+	"log/slog"
+)
+
+func logs(n int) {
+	log.Printf("worker %d", n) // want `legacy log package`
+	fmt.Println("status")      // want `prints to stdout via fmt`
+	slog.Info("ok", "worker", n)
+}

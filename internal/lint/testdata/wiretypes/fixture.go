@@ -1,0 +1,17 @@
+// Package fixture re-inlines wire shapes inside internal/server, which
+// wiretypes exists to forbid; routeState shows a non-wire struct passes.
+//
+//wmlint:fixture repro/internal/server
+package fixture
+
+type uploadRequest struct { // want `wire-type declaration uploadRequest`
+	Name string
+}
+
+type routeState struct {
+	ID string `json:"id"` // want `json-tagged struct field`
+}
+
+type handlerDeps struct {
+	retries int
+}

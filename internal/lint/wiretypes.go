@@ -1,0 +1,50 @@
+package lint
+
+import (
+	"go/ast"
+	"regexp"
+	"strings"
+)
+
+// WireTypes keeps internal/server a pure route layer: every struct it
+// marshals on the wire must come from internal/api, the single wire
+// contract. A json-tagged field or a *Request/*Response-shaped struct
+// declaration inside internal/server means someone re-inlined a wire
+// type — the typed replacement for the shell grep gate CI used to run.
+var WireTypes = &Analyzer{
+	Name: "wiretypes",
+	Doc: "internal/server must not declare wire shapes: no json-tagged struct fields " +
+		"and no *Request/*Response/*Result/*Info/*List/*Error struct declarations " +
+		"(wire types live in internal/api)",
+	Applies: pathIn("repro/internal/server"),
+	Run:     runWireTypes,
+}
+
+var wireTypeName = regexp.MustCompile(`(Request|Response|Result|Info|List|Error)$`)
+
+func runWireTypes(pass *Pass) error {
+	forEachFile(pass, func(f *ast.File) {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			if wireTypeName.MatchString(ts.Name.Name) {
+				pass.Reportf(ts.Name.Pos(),
+					"wire-type declaration %s inside internal/server — move it to internal/api", ts.Name.Name)
+			}
+			for _, field := range st.Fields.List {
+				if field.Tag != nil && strings.Contains(field.Tag.Value, `json:"`) {
+					pass.Reportf(field.Tag.Pos(),
+						"json-tagged struct field inside internal/server — wire shapes belong in internal/api")
+				}
+			}
+			return true
+		})
+	})
+	return nil
+}

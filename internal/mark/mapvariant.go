@@ -112,6 +112,7 @@ func DetectWithMap(r *relation.Relation, wmLen int, em EmbeddingMap, opts Option
 		return rep, errors.New("mark: empty embedding map")
 	}
 	bw := 0
+	//wmlint:ignore determinism order-independent max reduction over the embedding map
 	for _, idx := range em {
 		if idx < 0 {
 			return rep, fmt.Errorf("mark: embedding map has negative index %d", idx)

@@ -117,9 +117,9 @@ func (c Config) report(tuples int) {
 }
 
 // scanRange feeds rows [lo, hi) of r through sc into t block-at-a-time
-// (or tuple-at-a-time when cfg.BlockRows < 0), ticking progress per
-// block. bs is the caller's per-goroutine scratch.
-func scanRange(sc *mark.Scanner, r *relation.Relation, lo, hi int, t *mark.Tally, bs *mark.BlockScratch, cfg Config) error {
+// (or tuple-at-a-time when cfg.BlockRows < 0), checking ctx and ticking
+// progress between blocks. bs is the caller's per-goroutine scratch.
+func scanRange(ctx context.Context, sc *mark.Scanner, r *relation.Relation, lo, hi int, t *mark.Tally, bs *mark.BlockScratch, cfg Config) error {
 	if cfg.BlockRows < 0 {
 		for j := lo; j < hi; j++ {
 			sc.ScanTuple(r.Tuple(j), t)
@@ -129,6 +129,9 @@ func scanRange(sc *mark.Scanner, r *relation.Relation, lo, hi int, t *mark.Tally
 	}
 	br := cfg.blockRows()
 	for blockLo := lo; blockLo < hi; blockLo += br {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		blockHi := min(blockLo+br, hi)
 		if err := sc.ScanBlock(r, blockLo, blockHi, t, bs); err != nil {
 			return err
@@ -139,11 +142,15 @@ func scanRange(sc *mark.Scanner, r *relation.Relation, lo, hi int, t *mark.Tally
 }
 
 // embedRange feeds rows [lo, hi) of r through em into cs
-// block-at-a-time, ticking progress per block. Runs at least one
-// (possibly empty) block so cs always carries the pass bandwidth.
-func embedRange(em *mark.Embedder, r *relation.Relation, lo, hi int, cs *mark.ChunkStats, bs *mark.BlockScratch, cfg Config) error {
+// block-at-a-time, checking ctx and ticking progress between blocks.
+// Runs at least one (possibly empty) block so cs always carries the pass
+// bandwidth.
+func embedRange(ctx context.Context, em *mark.Embedder, r *relation.Relation, lo, hi int, cs *mark.ChunkStats, bs *mark.BlockScratch, cfg Config) error {
 	br := cfg.blockRows()
 	for blockLo := lo; ; blockLo += br {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		blockHi := min(blockLo+br, hi)
 		if err := em.EmbedBlock(r, blockLo, blockHi, cs, bs); err != nil {
 			return err
@@ -258,7 +265,7 @@ func Embed(ctx context.Context, r *relation.Relation, wm ecc.Bits, opts mark.Opt
 			if err := ctx.Err(); err != nil {
 				return mark.EmbedStats{}, err
 			}
-			if err := embedRange(em, r, c.Lo, c.Hi, &agg, &bs, cfg); err != nil {
+			if err := embedRange(ctx, em, r, c.Lo, c.Hi, &agg, &bs, cfg); err != nil {
 				return mark.EmbedStats{}, err
 			}
 		}
@@ -267,7 +274,7 @@ func Embed(ctx context.Context, r *relation.Relation, wm ecc.Bits, opts mark.Opt
 	parts, err := runChunks(ctx, workers, chunks, func(c chunkRange) (mark.ChunkStats, error) {
 		var cs mark.ChunkStats
 		var bs mark.BlockScratch
-		err := embedRange(em, r, c.Lo, c.Hi, &cs, &bs, cfg)
+		err := embedRange(ctx, em, r, c.Lo, c.Hi, &cs, &bs, cfg)
 		return cs, err
 	})
 	if err != nil {
@@ -300,7 +307,7 @@ func Detect(ctx context.Context, r *relation.Relation, wmLen int, opts mark.Opti
 			if err := ctx.Err(); err != nil {
 				return mark.DetectReport{}, err
 			}
-			if err := scanRange(sc, r, c.Lo, c.Hi, total, &bs, cfg); err != nil {
+			if err := scanRange(ctx, sc, r, c.Lo, c.Hi, total, &bs, cfg); err != nil {
 				return mark.DetectReport{}, err
 			}
 		}
@@ -309,7 +316,7 @@ func Detect(ctx context.Context, r *relation.Relation, wmLen int, opts mark.Opti
 	parts, err := runChunks(ctx, workers, chunks, func(c chunkRange) (*mark.Tally, error) {
 		t := sc.NewTally()
 		var bs mark.BlockScratch
-		if err := scanRange(sc, r, c.Lo, c.Hi, t, &bs, cfg); err != nil {
+		if err := scanRange(ctx, sc, r, c.Lo, c.Hi, t, &bs, cfg); err != nil {
 			return nil, err
 		}
 		return t, nil

@@ -186,7 +186,7 @@ func EmbedReader(ctx context.Context, src relation.RowReader, dst relation.RowWr
 		func(rel *relation.Relation) (*streamEmbedOut, error) {
 			var cs mark.ChunkStats
 			var bs mark.BlockScratch
-			if err := embedRange(em, rel, 0, rel.Len(), &cs, &bs, cfg); err != nil {
+			if err := embedRange(ctx, em, rel, 0, rel.Len(), &cs, &bs, cfg); err != nil {
 				return nil, err
 			}
 			return &streamEmbedOut{rel: rel, cs: cs}, nil
@@ -263,6 +263,9 @@ func ScanMany(ctx context.Context, src relation.RowReader, scanners []*mark.Scan
 			var bs mark.BlockScratch
 			br := cfg.blockRows()
 			for lo := 0; lo < rel.Len(); lo += br {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
 				hi := min(lo+br, rel.Len())
 				for i, sc := range scanners {
 					if err := sc.ScanBlock(rel, lo, hi, parts[i], &bs); err != nil {

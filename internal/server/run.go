@@ -62,6 +62,7 @@ func Run(addr, storeDir string, cfg Config) error {
 		return err
 	case s := <-sig:
 		cfg.Log.Info("shutting down", "signal", s.String())
+		//wmlint:ignore ctxloop shutdown grace period runs after the serve ctx is already cancelled
 		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 		defer cancel()
 		if err := httpSrv.Shutdown(ctx); err != nil {
