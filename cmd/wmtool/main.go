@@ -39,6 +39,9 @@ import (
 	"strings"
 	"time"
 
+	"runtime"
+	"runtime/pprof"
+
 	"repro/internal/analysis"
 	"repro/internal/api"
 	"repro/internal/attacks"
@@ -142,6 +145,67 @@ func loadRelation(path, spec string) (*relation.Relation, error) {
 	}
 	defer f.Close()
 	return relation.ReadCSV(f, schema)
+}
+
+// profiler backs the -cpuprofile/-memprofile flags on the scan-heavy
+// commands (verify, audit) — the CLI counterpart of wmserver's -pprof
+// endpoints, for profiling a one-shot scan without standing up a server.
+type profiler struct {
+	cpu, mem string
+	cpuFile  *os.File
+}
+
+// addProfileFlags registers the profiling flags on fs.
+func addProfileFlags(fs *flag.FlagSet) *profiler {
+	p := &profiler{}
+	fs.StringVar(&p.cpu, "cpuprofile", "", "write a CPU profile of this command to the given file (inspect with go tool pprof)")
+	fs.StringVar(&p.mem, "memprofile", "", "write an allocation profile, taken at command exit, to the given file")
+	return p
+}
+
+// start begins CPU profiling if requested. Call stop before exiting.
+func (p *profiler) start() error {
+	if p.cpu == "" {
+		return nil
+	}
+	f, err := os.Create(p.cpu)
+	if err != nil {
+		return err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return err
+	}
+	p.cpuFile = f
+	return nil
+}
+
+// stop flushes the requested profiles. Profile-write failures must not
+// change the command's verdict or exit code, so they are reported on
+// stderr rather than returned.
+func (p *profiler) stop() {
+	if p.cpuFile != nil {
+		pprof.StopCPUProfile()
+		if err := p.cpuFile.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "wmtool: cpuprofile:", err)
+		}
+		p.cpuFile = nil
+	}
+	if p.mem == "" {
+		return
+	}
+	f, err := os.Create(p.mem)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wmtool: memprofile:", err)
+		return
+	}
+	runtime.GC() // materialize the final live set before snapshotting
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintln(os.Stderr, "wmtool: memprofile:", err)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "wmtool: memprofile:", err)
+	}
 }
 
 func saveRelation(path string, r *relation.Relation) error {
@@ -374,6 +438,7 @@ func cmdVerify(args []string) error {
 	parallel := fs.Int("parallel", 1, "pipeline workers (1 = sequential, 0 = NumCPU)")
 	serverURL := fs.String("server", "", "wmserver base URL: verify remotely against stored certificates, streaming the suspect from disk")
 	kernelFlag := fs.String("kernel", "", "pin the batched keyed-hash backend for local scans (see 'wmtool kernels'; empty = auto-select)")
+	prof := addProfileFlags(fs)
 	fs.Parse(args)
 
 	if *in == "" || *spec == "" || (*recordPath == "") == (*recordPaths == "") {
@@ -383,6 +448,10 @@ func cmdVerify(args []string) error {
 	if err != nil {
 		return fmt.Errorf("verify: %w", err)
 	}
+	if err := prof.start(); err != nil {
+		return err
+	}
+	defer prof.stop()
 	if *serverURL != "" {
 		if *kernelFlag != "" {
 			return fmt.Errorf("verify: -kernel applies to local scans; pin the server's backend with wmserver -kernel")
@@ -465,7 +534,9 @@ func verifyBatch(in, spec string, recordPaths []string, workers int, kernel keyh
 		return err
 	}
 	defer f.Close()
-	src, err := relation.NewCSVRowReader(f, schema)
+	// The zero-copy block reader: core.VerifyBatch's pipeline recognizes
+	// its BlockReader side and scans columnar blocks, 0 allocs/row.
+	src, err := relation.NewCSVBlockReader(f, schema)
 	if err != nil {
 		return err
 	}
@@ -826,11 +897,16 @@ func cmdAudit(args []string) error {
 	poll := fs.Duration("poll", 0, "fixed poll interval while waiting (0 = capped exponential backoff with jitter)")
 	quiet := fs.Bool("quiet", false, "suppress progress lines while waiting")
 	jsonOut := fs.Bool("json", false, "emit the final batch report (or, with -nowait, the job resource) as JSON on stdout; human chatter goes to stderr")
+	prof := addProfileFlags(fs)
 	fs.Parse(args)
 
 	if *serverURL == "" || *in == "" || *spec == "" {
 		return fmt.Errorf("audit: -server, -in, -schema are required")
 	}
+	if err := prof.start(); err != nil {
+		return err
+	}
+	defer prof.stop()
 	data, err := os.ReadFile(*in)
 	if err != nil {
 		return err

@@ -59,6 +59,10 @@ type scan struct {
 	c   *Coordinator
 	ctx context.Context
 	job ScanJob
+	// format is the wire format shard payloads are serialized in: the
+	// source's own format when it can hand out raw record bytes
+	// (relation.RawShardSource), "csv" re-serialization otherwise.
+	format string
 	// bandwidths holds each scanner's |wm_data|, the shape every wire
 	// tally is validated against before it may merge.
 	bandwidths []int
@@ -133,10 +137,15 @@ func (c *Coordinator) ScanShards(ctx context.Context, src relation.RowReader, sc
 	if len(scanners) == 0 {
 		return nil, errors.New("cluster: no certificates to scan")
 	}
+	format := "csv"
+	if raw, ok := src.(relation.RawShardSource); ok {
+		format = raw.FormatName()
+	}
 	s := &scan{
 		c:            c,
 		ctx:          ctx,
 		job:          job,
+		format:       format,
 		bandwidths:   make([]int, len(scanners)),
 		kick:         make(chan struct{}, 1),
 		feed:         make(chan struct{}, 1),
@@ -205,6 +214,12 @@ func (c *Coordinator) ScanShards(ctx context.Context, src relation.RowReader, sc
 // between rows) once the scan has failed or been cancelled.
 func (s *scan) readShards(src relation.RowReader) {
 	defer close(s.readerExited)
+	if raw, ok := src.(relation.RawShardSource); ok {
+		// Zero-reprint fast path: the source slices shard payloads
+		// straight out of the input bytes (see readRawShards).
+		s.readRawShards(raw)
+		return
+	}
 	auto := s.c.cfg.AutoShardRows
 	shardRows := s.c.cfg.shardRows()
 	maxBuffered := s.c.cfg.maxBufferedShards()
@@ -312,6 +327,114 @@ func (s *scan) readShards(src relation.RowReader) {
 				finish(err)
 				return
 			}
+		}
+	}
+	if rows > 0 && !cut() {
+		return
+	}
+	finish(nil)
+}
+
+// rawReadRows caps how many rows one ReadBlock call of the raw shard
+// encoder parses at a time, bounding the reused block's arena while a
+// multi-thousand-row shard accumulates.
+const rawReadRows = 4096
+
+// readRawShards is readShards for sources that hand out raw record
+// bytes (relation.RawShardSource): each shard payload is the source's
+// own header plus verbatim slices of the input stream — the rows are
+// still parsed (a malformed record fails the scan exactly where the
+// row path would fail), but never re-printed, so the coordinator does
+// no per-row string materialization or CSV quoting work at all. The
+// backpressure, auto-sizing and failure semantics match readShards.
+func (s *scan) readRawShards(src relation.RawShardSource) {
+	src.SetRecordRaw(true)
+	auto := s.c.cfg.AutoShardRows
+	shardRows := s.c.cfg.shardRows()
+	maxBuffered := s.c.cfg.maxBufferedShards()
+	hdr := string(src.RawHeader())
+	blk := relation.GetBlock(src.Schema())
+	defer relation.PutBlock(blk)
+	var (
+		buf  strings.Builder
+		rows int
+	)
+	reset := func() {
+		buf.Reset()
+		buf.WriteString(hdr)
+		rows = 0
+	}
+	finish := func(readErr error) {
+		s.mu.Lock()
+		s.readerDone = true
+		if readErr != nil {
+			s.failLocked(readErr)
+		}
+		s.mu.Unlock()
+		s.wake()
+	}
+	cut := func() bool {
+		task := &shardTask{data: buf.String(), rows: rows, failed: make(map[string]bool)}
+		for {
+			s.mu.Lock()
+			if s.err != nil {
+				s.mu.Unlock()
+				finish(nil)
+				return false
+			}
+			if len(s.pending) < maxBuffered {
+				task.idx = s.produced
+				s.produced++
+				s.pending = append(s.pending, task)
+				s.mu.Unlock()
+				s.wake()
+				return true
+			}
+			s.mu.Unlock()
+			select {
+			case <-s.feed:
+			case <-s.ctx.Done():
+				finish(s.ctx.Err())
+				return false
+			}
+		}
+	}
+	stopped := func() bool {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return s.err != nil
+	}
+	reset()
+	for {
+		if s.ctx.Err() != nil {
+			finish(s.ctx.Err())
+			return
+		}
+		if stopped() {
+			finish(nil)
+			return
+		}
+		if auto && rows == 0 {
+			if shardRows = s.autoShardRows(); shardRows == 0 {
+				finish(s.ctx.Err())
+				return
+			}
+		}
+		n, err := src.ReadBlock(blk, min(shardRows-rows, rawReadRows))
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			finish(err)
+			return
+		}
+		buf.Write(blk.RawBytes())
+		rows += n
+		if rows >= shardRows {
+			if !cut() {
+				return
+			}
+			reset()
 		}
 	}
 	if rows > 0 && !cut() {
@@ -493,17 +616,29 @@ func (s *scan) runShard(task *shardTask, m *member) {
 }
 
 // splitTask cuts a failed shard's payload into two half-sized children
-// (same idx, sub 0 and 1) by round-tripping the serialized rows. The
+// (same idx, sub 0 and 1) by re-parsing the serialized rows with the
+// payload format's raw-recording block reader and slicing each child's
+// record bytes verbatim — no re-printing, in either format. The
 // children inherit the shard's attempt count and failure history.
 func (s *scan) splitTask(task *shardTask) ([]*shardTask, error) {
 	schema, err := relation.ParseSchemaSpec(s.job.Schema)
 	if err != nil {
 		return nil, err
 	}
-	src, err := relation.NewCSVRowReader(strings.NewReader(task.data), schema)
-	if err != nil {
-		return nil, err
+	var src relation.RawShardSource
+	if s.format == "jsonl" {
+		src = relation.NewJSONLBlockReader(strings.NewReader(task.data), schema)
+	} else {
+		csrc, err := relation.NewCSVBlockReader(strings.NewReader(task.data), schema)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: re-split shard %d: %w", task.idx, err)
+		}
+		src = csrc
 	}
+	src.SetRecordRaw(true)
+	hdr := string(src.RawHeader())
+	blk := relation.GetBlock(schema)
+	defer relation.PutBlock(blk)
 	sizes := [2]int{task.rows / 2, task.rows - task.rows/2}
 	children := make([]*shardTask, 0, len(sizes))
 	for sub, want := range sizes {
@@ -511,21 +646,17 @@ func (s *scan) splitTask(task *shardTask) ([]*shardTask, error) {
 			return nil, err
 		}
 		var buf strings.Builder
-		w, err := relation.NewCSVRowWriter(&buf, schema)
-		if err != nil {
-			return nil, err
-		}
-		for n := 0; n < want; n++ {
-			t, err := src.Read()
-			if err != nil {
+		buf.WriteString(hdr)
+		for got := 0; got < want; {
+			n, err := src.ReadBlock(blk, min(want-got, rawReadRows))
+			if err != nil || n == 0 {
+				if err == nil {
+					err = io.ErrUnexpectedEOF
+				}
 				return nil, fmt.Errorf("cluster: re-split shard %d: %w", task.idx, err)
 			}
-			if err := w.Write(t); err != nil {
-				return nil, err
-			}
-		}
-		if err := w.Flush(); err != nil {
-			return nil, err
+			buf.Write(blk.RawBytes())
+			got += n
 		}
 		failed := make(map[string]bool, len(task.failed))
 		for id := range task.failed {
@@ -558,6 +689,7 @@ func (s *scan) callWorker(task *shardTask, m *member) ([]*mark.Tally, error) {
 	resp, err := m.client.ScanShard(ctx, api.ShardScanRequest{
 		Shard:     task.idx,
 		Schema:    s.job.Schema,
+		Format:    s.format,
 		Data:      task.data,
 		Records:   s.job.Records,
 		BlockRows: s.job.BlockRows,

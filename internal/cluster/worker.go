@@ -38,12 +38,15 @@ func ExecuteShard(ctx context.Context, req api.ShardScanRequest, opts core.Batch
 	if err != nil {
 		return nil, fmt.Errorf("cluster: shard %d schema: %w", req.Shard, err)
 	}
+	// The zero-copy block readers implement RowReader, so every engine
+	// accepts them; pipeline.ScanMany additionally recognizes the
+	// BlockReader side and takes its columnar zero-allocation path.
 	var src relation.RowReader
 	switch strings.ToLower(req.Format) {
 	case "", "csv":
-		src, err = relation.NewCSVRowReader(strings.NewReader(req.Data), schema)
+		src, err = relation.NewCSVBlockReader(strings.NewReader(req.Data), schema)
 	case "jsonl":
-		src = relation.NewJSONLRowReader(strings.NewReader(req.Data), schema)
+		src = relation.NewJSONLBlockReader(strings.NewReader(req.Data), schema)
 	default:
 		err = fmt.Errorf("unknown format %q (want csv or jsonl)", req.Format)
 	}

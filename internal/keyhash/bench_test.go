@@ -57,6 +57,7 @@ func BenchmarkKernelHashMany(b *testing.B) {
 		b.Fatal(err)
 	}
 	b.Run("hasher-loop", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			for j, v := range values {
 				out[j] = h.HashString(v)
@@ -74,6 +75,7 @@ func BenchmarkKernelHashMany(b *testing.B) {
 			b.Fatalf("kernel %q: %v", bk.Kind, err)
 		}
 		b.Run(string(bk.Kind), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				kern.HashMany(values, out)
 			}
@@ -95,6 +97,7 @@ func BenchmarkKernelHashMany(b *testing.B) {
 			b.Fatalf("WM_BENCH_KERNEL=%s: %v", env, err)
 		}
 		b.Run("pinned", func(b *testing.B) {
+			b.ReportAllocs()
 			b.Logf("WM_BENCH_KERNEL=%s -> kernel %q", env, kind)
 			for i := 0; i < b.N; i++ {
 				kern.HashMany(values, out)
@@ -132,6 +135,7 @@ func BenchmarkFitKey(b *testing.B) {
 	for i := range keys {
 		keys[i] = strconv.Itoa(500000 + i)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = FitKey(k, keys[i&1023], 65)
@@ -139,6 +143,7 @@ func BenchmarkFitKey(b *testing.B) {
 }
 
 func BenchmarkPairIndex(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		_ = PairIndex(uint64(i)*2654435761, 1000, uint64(i)&1)
 	}

@@ -21,7 +21,42 @@ type Kernel interface {
 	// HashMany computes H(values[i];k) into out[i] for every value.
 	// len(out) must be at least len(values).
 	HashMany(values []string, out []Digest)
+	// HashColumn is HashMany over a columnar value view: value i is
+	// data[offs[i]:offs[i+1]], with len(offs) == n+1 and offs[0] == 0 —
+	// the exact arena shape of a relation block column. The scan engine
+	// hashes key-column bytes directly through this entry point, never
+	// materializing a string per field. len(out) must be at least
+	// len(offs)-1. Digests are bit-identical to HashMany over the same
+	// byte sequences.
+	HashColumn(data []byte, offs []int32, out []Digest)
 }
+
+// vals abstracts the two batch shapes the kernels accept — a []string
+// batch and a columnar arena view — so each backend's batching core is
+// written once, generically, and instantiated per shape with direct
+// (devirtualized) accessors.
+type vals[V ~string | ~[]byte] interface {
+	count() int
+	at(i int) V
+}
+
+type strVals []string
+
+func (s strVals) count() int      { return len(s) }
+func (s strVals) at(i int) string { return s[i] }
+
+type colVals struct {
+	data []byte
+	offs []int32
+}
+
+func (c colVals) count() int      { return len(c.offs) - 1 }
+func (c colVals) at(i int) []byte { return c.data[c.offs[i]:c.offs[i+1]] }
+
+// hashFull is the beyond-lane streaming fallback for either value
+// shape. (For V = []byte the conversion is a no-op; for V = string it
+// pays the same copy HashString always has.)
+func hashFull[V ~string | ~[]byte](k Key, v V) Digest { return Hash(k, []byte(v)) }
 
 // KernelKind names a batched hash backend.
 type KernelKind string
@@ -188,19 +223,40 @@ func newPortableKernel(k Key, ctr *kernelCounters) *portableKernel {
 // exactly like Hasher.HashString.
 func (p *portableKernel) HashMany(values []string, out []Digest) {
 	p.ctr.tick(len(values))
-	_ = out[:len(values)] // one bounds check up front
+	hashBatchPortable[string, strVals](p.h, strVals(values), out)
+}
+
+// HashColumn hashes a block column's arena view, same strategy.
+func (p *portableKernel) HashColumn(data []byte, offs []int32, out []Digest) {
+	if len(offs) == 0 {
+		return
+	}
+	p.ctr.tick(len(offs) - 1)
+	hashBatchPortable[[]byte, colVals](p.h, colVals{data: data, offs: offs}, out)
+}
+
+// hashBatchPortable is the portable batching core over either value
+// shape: the construct's prefix is copied into one scratch buffer that
+// lives for the whole batch.
+func hashBatchPortable[V ~string | ~[]byte, S vals[V]](h *Hasher, src S, out []Digest) {
+	n := src.count()
+	if n <= 0 {
+		return
+	}
+	_ = out[:n] // one bounds check up front
 	var buf [oneShotMax]byte
-	prefixLen := copy(buf[:], p.h.prefix)
-	for i, v := range values {
-		total := prefixLen + len(v) + len(p.h.key)
+	prefixLen := copy(buf[:], h.prefix)
+	for i := 0; i < n; i++ {
+		v := src.at(i)
+		total := prefixLen + len(v) + len(h.key)
 		if total > oneShotMax {
-			out[i] = HashString(p.h.key, v)
+			out[i] = hashFull(h.key, v)
 			continue
 		}
-		n := prefixLen
-		n += copy(buf[n:], v)
-		n += copy(buf[n:], p.h.key)
-		out[i] = Digest(sha256.Sum256(buf[:n]))
+		w := prefixLen
+		w += copy(buf[w:], v)
+		w += copy(buf[w:], h.key)
+		out[i] = Digest(sha256.Sum256(buf[:w]))
 	}
 }
 
@@ -233,27 +289,49 @@ func (m *BlockMemo) Reset() {
 	}
 }
 
-// Lane returns the digests of values under kern, computing them on the
-// first call for this (col, key k) lane and replaying them afterwards.
-// The returned slice is valid until the next Reset.
-func (m *BlockMemo) Lane(col int, k Key, kern Kernel, values []string) []Digest {
+// lane returns the digest slice for lk, reporting whether it was
+// already computed. A miss returns a recycled (or grown) slice of n
+// digests already installed in the map.
+func (m *BlockMemo) lane(lk laneKey, n int) ([]Digest, bool) {
 	if m.lanes == nil {
 		m.lanes = make(map[laneKey][]Digest)
 	}
-	lk := laneKey{col: col, key: string(k)}
 	if d, ok := m.lanes[lk]; ok {
-		return d
+		return d, true
 	}
 	var d []Digest
-	if n := len(m.free); n > 0 {
-		d = m.free[n-1][:0]
-		m.free = m.free[:n-1]
+	if f := len(m.free); f > 0 {
+		d = m.free[f-1][:0]
+		m.free = m.free[:f-1]
 	}
-	if cap(d) < len(values) {
-		d = make([]Digest, len(values))
+	if cap(d) < n {
+		d = make([]Digest, n)
 	}
-	d = d[:len(values)]
-	kern.HashMany(values, d)
+	d = d[:n]
 	m.lanes[lk] = d
+	return d, false
+}
+
+// Lane returns the digests of values under kern, computing them on the
+// first call for this (col, key) lane and replaying them afterwards.
+// key is the string form of the secret key (callers cache it — passing
+// string(k) inline would allocate per call). The returned slice is
+// valid until the next Reset.
+func (m *BlockMemo) Lane(col int, key string, kern Kernel, values []string) []Digest {
+	d, hit := m.lane(laneKey{col: col, key: key}, len(values))
+	if !hit {
+		kern.HashMany(values, d)
+	}
+	return d
+}
+
+// LaneColumn is Lane over a block column's arena view (value i is
+// data[offs[i]:offs[i+1]], len(offs) == rows+1). Lanes are shared with
+// Lane: the digests are bit-identical either way.
+func (m *BlockMemo) LaneColumn(col int, key string, kern Kernel, data []byte, offs []int32) []Digest {
+	d, hit := m.lane(laneKey{col: col, key: key}, len(offs)-1)
+	if !hit {
+		kern.HashColumn(data, offs, d)
+	}
 	return d
 }

@@ -55,7 +55,25 @@ func newMultiKernel4(k Key, ctr *kernelCounters) Kernel {
 // bit-identical to Hash/HashString in every case.
 func (m *multiKernel4) HashMany(values []string, out []Digest) {
 	m.ctr.tick(len(values))
-	_ = out[:len(values)] // one bounds check up front
+	hashBatch4[string, strVals](m, strVals(values), out)
+}
+
+// HashColumn hashes a block column's arena view, same batching strategy.
+func (m *multiKernel4) HashColumn(data []byte, offs []int32, out []Digest) {
+	if len(offs) == 0 {
+		return
+	}
+	m.ctr.tick(len(offs) - 1)
+	hashBatch4[[]byte, colVals](m, colVals{data: data, offs: offs}, out)
+}
+
+// hashBatch4 is the four-lane batching core over either value shape.
+func hashBatch4[V ~string | ~[]byte, S vals[V]](m *multiKernel4, src S, out []Digest) {
+	n := src.count()
+	if n <= 0 {
+		return
+	}
+	_ = out[:n] // one bounds check up front
 	var (
 		msgs   [4 * laneBytes]byte
 		wbuf   [256]uint32
@@ -63,10 +81,11 @@ func (m *multiKernel4) HashMany(values []string, out []Digest) {
 		pend   [3][4]int // pending value indexes per block count
 		npend  [3]int
 	)
-	for i, v := range values {
-		nb := paddedBlocks(len(m.prefix), m.key, v)
+	for i := 0; i < n; i++ {
+		v := src.at(i)
+		nb := paddedBlocks(len(m.prefix), len(m.key), len(v))
 		if nb == 0 {
-			out[i] = HashString(m.key, v)
+			out[i] = hashFull(m.key, v)
 			continue
 		}
 		pend[nb][npend[nb]] = i
@@ -76,7 +95,7 @@ func (m *multiKernel4) HashMany(values []string, out []Digest) {
 		}
 		npend[nb] = 0
 		for l, j := range pend[nb] {
-			fillPadded((*[laneBytes]byte)(msgs[l*laneBytes:]), m.prefix, m.key, values[j], nb)
+			fillPadded((*[laneBytes]byte)(msgs[l*laneBytes:]), m.prefix, m.key, src.at(j), nb)
 			*(*[8]uint32)(states[l*8:]) = sha256IV
 		}
 		sha256block4(&states, &msgs, &wbuf, nb)
@@ -92,15 +111,15 @@ func (m *multiKernel4) HashMany(values []string, out []Digest) {
 		for len(rest) >= 2 {
 			j0, j1 := rest[0], rest[1]
 			rest = rest[2:]
-			fillPadded(&b0, m.prefix, m.key, values[j0], nb)
-			fillPadded(&b1, m.prefix, m.key, values[j1], nb)
+			fillPadded(&b0, m.prefix, m.key, src.at(j0), nb)
+			fillPadded(&b1, m.prefix, m.key, src.at(j1), nb)
 			s0, s1 := sha256IV, sha256IV
 			sha256block2(&s0, &s1, &b0[0], &b1[0], nb)
 			putDigest(&out[j0], &s0)
 			putDigest(&out[j1], &s1)
 		}
 		if len(rest) == 1 {
-			out[rest[0]] = m.h.HashString(values[rest[0]])
+			out[rest[0]] = hashAny(m.h, src.at(rest[0]))
 		}
 	}
 }

@@ -81,7 +81,25 @@ func newMBKernel8(k Key, ctr *kernelCounters) Kernel {
 // Hash/HashString in every case.
 func (m *mbKernel8) HashMany(values []string, out []Digest) {
 	m.ctr.tick(len(values))
-	_ = out[:len(values)] // one bounds check up front
+	hashBatch8[string, strVals](m, strVals(values), out)
+}
+
+// HashColumn hashes a block column's arena view, same batching strategy.
+func (m *mbKernel8) HashColumn(data []byte, offs []int32, out []Digest) {
+	if len(offs) == 0 {
+		return
+	}
+	m.ctr.tick(len(offs) - 1)
+	hashBatch8[[]byte, colVals](m, colVals{data: data, offs: offs}, out)
+}
+
+// hashBatch8 is the eight-lane batching core over either value shape.
+func hashBatch8[V ~string | ~[]byte, S vals[V]](m *mbKernel8, src S, out []Digest) {
+	n := src.count()
+	if n <= 0 {
+		return
+	}
+	_ = out[:n] // one bounds check up front
 	var (
 		bufs  [8][laneBytes]byte
 		w     [512]uint32
@@ -89,10 +107,11 @@ func (m *mbKernel8) HashMany(values []string, out []Digest) {
 		pend  [3][8]int // pending value indexes per block count
 		npend [3]int
 	)
-	for i, v := range values {
-		nb := paddedBlocks(len(m.prefix), m.key, v)
+	for i := 0; i < n; i++ {
+		v := src.at(i)
+		nb := paddedBlocks(len(m.prefix), len(m.key), len(v))
 		if nb == 0 {
-			out[i] = HashString(m.key, v)
+			out[i] = hashFull(m.key, v)
 			continue
 		}
 		pend[nb][npend[nb]] = i
@@ -102,7 +121,7 @@ func (m *mbKernel8) HashMany(values []string, out []Digest) {
 		}
 		npend[nb] = 0
 		for l, j := range pend[nb] {
-			fillPadded(&bufs[l], m.prefix, m.key, values[j], nb)
+			fillPadded(&bufs[l], m.prefix, m.key, src.at(j), nb)
 		}
 		for i2, h := range sha256IV {
 			for l := 0; l < 8; l++ {
@@ -128,7 +147,7 @@ func (m *mbKernel8) HashMany(values []string, out []Digest) {
 	}
 	for nb := 1; nb <= 2; nb++ {
 		for _, j := range pend[nb][:npend[nb]] {
-			out[j] = m.h.HashString(values[j])
+			out[j] = hashAny(m.h, src.at(j))
 		}
 	}
 }

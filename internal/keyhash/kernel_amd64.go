@@ -95,10 +95,11 @@ func newMultiKernel(k Key, ctr *kernelCounters) Kernel {
 	return &multiKernel{h: h, key: k, prefix: h.prefix, ctr: ctr}
 }
 
-// paddedBlocks returns the padded block count of the construct for v —
-// 1 or 2 — or 0 when it exceeds the two-block lane (streaming fallback).
-func paddedBlocks(prefixLen int, key Key, v string) int {
-	total := prefixLen + len(v) + len(key)
+// paddedBlocks returns the padded block count of the construct for a
+// value of vLen bytes — 1 or 2 — or 0 when it exceeds the two-block
+// lane (streaming fallback).
+func paddedBlocks(prefixLen, keyLen, vLen int) int {
+	total := prefixLen + vLen + keyLen
 	switch {
 	case total+9 <= 64:
 		return 1
@@ -111,7 +112,7 @@ func paddedBlocks(prefixLen int, key Key, v string) int {
 
 // fillPadded assembles the fully padded message len(k) ‖ k ‖ v ‖ k ‖
 // 0x80 ‖ 0… ‖ len into a lane buffer, exactly as SHA-256 would pad it.
-func fillPadded(buf *[laneBytes]byte, prefix []byte, key Key, v string, blocks int) {
+func fillPadded[V ~string | ~[]byte](buf *[laneBytes]byte, prefix []byte, key Key, v V, blocks int) {
 	n := copy(buf[:], prefix)
 	n += copy(buf[n:], v)
 	n += copy(buf[n:], key)
@@ -127,13 +128,32 @@ func fillPadded(buf *[laneBytes]byte, prefix []byte, key Key, v string, blocks i
 // digests are bit-identical to Hash/HashString in every case.
 func (m *multiKernel) HashMany(values []string, out []Digest) {
 	m.ctr.tick(len(values))
-	_ = out[:len(values)] // one bounds check up front
+	hashBatch2[string, strVals](m, strVals(values), out)
+}
+
+// HashColumn hashes a block column's arena view, same pairing strategy.
+func (m *multiKernel) HashColumn(data []byte, offs []int32, out []Digest) {
+	if len(offs) == 0 {
+		return
+	}
+	m.ctr.tick(len(offs) - 1)
+	hashBatch2[[]byte, colVals](m, colVals{data: data, offs: offs}, out)
+}
+
+// hashBatch2 is the two-lane batching core over either value shape.
+func hashBatch2[V ~string | ~[]byte, S vals[V]](m *multiKernel, src S, out []Digest) {
+	n := src.count()
+	if n <= 0 {
+		return
+	}
+	_ = out[:n] // one bounds check up front
 	var b0, b1 [laneBytes]byte
 	pending := [3]int{-1, -1, -1} // pending value index per block count
-	for i, v := range values {
-		nb := paddedBlocks(len(m.prefix), m.key, v)
+	for i := 0; i < n; i++ {
+		v := src.at(i)
+		nb := paddedBlocks(len(m.prefix), len(m.key), len(v))
 		if nb == 0 {
-			out[i] = HashString(m.key, v)
+			out[i] = hashFull(m.key, v)
 			continue
 		}
 		j := pending[nb]
@@ -142,7 +162,7 @@ func (m *multiKernel) HashMany(values []string, out []Digest) {
 			continue
 		}
 		pending[nb] = -1
-		fillPadded(&b0, m.prefix, m.key, values[j], nb)
+		fillPadded(&b0, m.prefix, m.key, src.at(j), nb)
 		fillPadded(&b1, m.prefix, m.key, v, nb)
 		s0, s1 := sha256IV, sha256IV
 		sha256block2(&s0, &s1, &b0[0], &b1[0], nb)
@@ -151,7 +171,7 @@ func (m *multiKernel) HashMany(values []string, out []Digest) {
 	}
 	for _, j := range pending[1:] {
 		if j >= 0 {
-			out[j] = m.h.HashString(values[j])
+			out[j] = hashAny(m.h, src.at(j))
 		}
 	}
 }

@@ -88,9 +88,32 @@ func TestKernelMatchesHash(t *testing.T) {
 							ci, i, len(v), kind, out[i], want)
 					}
 				}
+				// The columnar entry point must produce the identical
+				// digests over the same byte sequences.
+				data, offs := column(values)
+				colOut := make([]Digest, len(values))
+				kern.HashColumn(data, offs, colOut)
+				for i := range values {
+					if colOut[i] != out[i] {
+						t.Fatalf("case %d value %d: kernel %q HashColumn differs from HashMany",
+							ci, i, kind)
+					}
+				}
 			}
 		})
 	}
+}
+
+// column lays values out as a contiguous arena + offsets, the shape
+// HashColumn consumes.
+func column(values []string) ([]byte, []int32) {
+	offs := make([]int32, 1, len(values)+1)
+	var data []byte
+	for _, v := range values {
+		data = append(data, v...)
+		offs = append(offs, int32(len(data)))
+	}
+	return data, offs
 }
 
 // TestKernelMatchesHashRandom is the randomized sweep: arbitrary batch
@@ -117,6 +140,15 @@ func TestKernelMatchesHashRandom(t *testing.T) {
 						trial, kind, keyLen, i, len(v))
 				}
 			}
+			data, offs := column(values)
+			colOut := make([]Digest, len(values))
+			kern.HashColumn(data, offs, colOut)
+			for i := range values {
+				if colOut[i] != out[i] {
+					t.Fatalf("trial %d kernel %q value %d: HashColumn differs from HashMany",
+						trial, kind, i)
+				}
+			}
 		}
 	}
 }
@@ -138,6 +170,14 @@ func FuzzKernelMatchesHash(f *testing.F) {
 			for i, v := range values {
 				if want := HashString(k, v); out[i] != want {
 					t.Fatalf("kernel %q value %d: digest mismatch", kind, i)
+				}
+			}
+			data, offs := column(values)
+			colOut := make([]Digest, len(values))
+			kern.HashColumn(data, offs, colOut)
+			for i := range values {
+				if colOut[i] != out[i] {
+					t.Fatalf("kernel %q value %d: HashColumn differs from HashMany", kind, i)
 				}
 			}
 		}
@@ -163,8 +203,8 @@ func TestBlockMemoSharesLanes(t *testing.T) {
 	values := []string{"k1", "k2", "k3"}
 
 	var m BlockMemo
-	first := m.Lane(0, kA, &kernA, values)
-	again := m.Lane(0, kA, &kernA, values)
+	first := m.Lane(0, string(kA), &kernA, values)
+	again := m.Lane(0, string(kA), &kernA, values)
 	if kernA.calls != 1 {
 		t.Fatalf("same lane twice: %d kernel calls, want 1", kernA.calls)
 	}
@@ -177,19 +217,33 @@ func TestBlockMemoSharesLanes(t *testing.T) {
 		}
 	}
 
-	m.Lane(1, kA, &kernA, values) // different column: new lane
+	m.Lane(1, string(kA), &kernA, values) // different column: new lane
 	if kernA.calls != 2 {
 		t.Fatalf("distinct column should re-hash: %d calls, want 2", kernA.calls)
 	}
-	m.Lane(0, kB, &kernB, values) // different key: new lane
+	m.Lane(0, string(kB), &kernB, values) // different key: new lane
 	if kernB.calls != 1 {
 		t.Fatalf("distinct key should hash its own lane: %d calls, want 1", kernB.calls)
 	}
 
+	// The columnar entry shares lanes with the string entry: same
+	// (col, key) hits the memo without re-hashing.
+	data, offs := column(values)
+	col := m.LaneColumn(0, string(kA), &kernA, data, offs)
+	if kernA.calls != 2 {
+		t.Fatalf("LaneColumn should hit the Lane memo: %d calls, want 2", kernA.calls)
+	}
+	if &col[0] != &first[0] {
+		t.Fatal("LaneColumn memo hit should return the cached slice")
+	}
+
 	m.Reset()
-	m.Lane(0, kA, &kernA, values)
+	m.LaneColumn(0, string(kA), &kernA, data, offs)
 	if kernA.calls != 3 {
 		t.Fatalf("Reset should invalidate lanes: %d calls, want 3", kernA.calls)
+	}
+	if d := m.Lane(0, string(kA), &kernA, values); d[0] != HashString(kA, values[0]) {
+		t.Fatal("LaneColumn-filled lane digest mismatch")
 	}
 }
 
@@ -211,6 +265,11 @@ type countingKernel struct {
 func (c *countingKernel) HashMany(values []string, out []Digest) {
 	c.calls++
 	c.inner.HashMany(values, out)
+}
+
+func (c *countingKernel) HashColumn(data []byte, offs []int32, out []Digest) {
+	c.calls++
+	c.inner.HashColumn(data, offs, out)
 }
 
 // TestKernelKindsRoundTrip pins the knob spellings that travel through

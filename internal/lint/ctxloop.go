@@ -10,8 +10,9 @@ import (
 //
 //  1. In internal/pipeline and internal/cluster, any loop that crosses
 //     scan-block or row boundaries — a loop whose body calls
-//     mark.ScanBlock / mark.EmbedBlock or reads from a
-//     relation.RowReader — must contain a cancellation point: a
+//     mark.ScanBlock / mark.EmbedBlock / mark.ScanColumns or reads from
+//     a relation.RowReader or BlockReader — must contain a cancellation
+//     point: a
 //     ctx.Err()/ctx.Done() check, a channel receive (the stop-latch
 //     pattern), or a call into a local helper that performs one.
 //  2. Library packages (all of internal/) must not mint detached
@@ -91,11 +92,17 @@ func loopCrossesBlocks(body *ast.BlockStmt, info *types.Info) bool {
 			return
 		}
 		if methodOn(info, call, "repro/internal/mark", "ScanBlock") ||
-			methodOn(info, call, "repro/internal/mark", "EmbedBlock") {
+			methodOn(info, call, "repro/internal/mark", "EmbedBlock") ||
+			methodOn(info, call, "repro/internal/mark", "ScanColumns") {
 			found = true
 		}
 		if methodOn(info, call, "repro/internal/relation", "Read",
-			"RowReader", "CSVRowReader", "JSONLRowReader") {
+			"RowReader", "CSVRowReader", "JSONLRowReader",
+			"CSVBlockReader", "JSONLBlockReader") {
+			found = true
+		}
+		if methodOn(info, call, "repro/internal/relation", "ReadBlock",
+			"BlockReader", "RawShardSource", "CSVBlockReader", "JSONLBlockReader") {
 			found = true
 		}
 	})

@@ -23,6 +23,9 @@
 //   - determinism:  tally-merge/report code must stay bit-identical
 //     across cluster topologies — no clocks, no randomness, no
 //     map-order-dependent iteration.
+//   - arenacopy:    the zero-allocation block pipeline must not convert
+//     arena-backed byte slices to strings — that reintroduces the
+//     per-row allocation the columnar path eliminates.
 //
 // cmd/wmlint is the multichecker binary; CI runs it in place of the
 // shell grep gates it replaced.
@@ -99,6 +102,7 @@ func All() []*Analyzer {
 		CtxLoop,
 		SlogOnly,
 		Determinism,
+		ArenaCopy,
 	}
 }
 

@@ -24,6 +24,7 @@ var fixtureCases = []struct {
 	{"ctxloop", "ctxloop"},
 	{"slogonly", "slogonly"},
 	{"determinism", "determinism"},
+	{"arenacopy", "arenacopy"},
 }
 
 // wantComment extracts the expectation regex from a fixture line.

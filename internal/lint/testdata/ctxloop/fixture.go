@@ -65,3 +65,32 @@ func readWithStopLatch(src relation.RowReader, stop chan struct{}) error {
 func detached() context.Context {
 	return context.Background() // want `calls context.Background`
 }
+
+func readBlocksNoCancel(src relation.BlockReader, blk *relation.Block) error {
+	for { // want `loop crosses scan-block/row boundaries`
+		if _, err := src.ReadBlock(blk, 512); err != nil {
+			return err
+		}
+	}
+}
+
+func scanColumnsNoCancel(sc *mark.Scanner, blks []*relation.Block, t *mark.Tally) error {
+	var bs mark.BlockScratch
+	for _, blk := range blks { // want `loop crosses scan-block/row boundaries`
+		if err := sc.ScanColumns(blk, t, &bs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func readBlocksWithCancel(ctx context.Context, src relation.BlockReader, blk *relation.Block) error {
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if _, err := src.ReadBlock(blk, 512); err != nil {
+			return err
+		}
+	}
+}

@@ -50,21 +50,33 @@ type BlockScratch struct {
 	freeKeys [][]string // retired key-column backing arrays, for reuse
 	memo     keyhash.BlockMemo
 
+	// columnar block identity (ScanColumns): the pooled Block pointer
+	// plus its generation counter, because pooling reuses pointers.
+	blk    *relation.Block
+	blkGen uint64
+
 	// staging for the current ScanBlock/EmbedBlock call
 	fitRows []int32
 	fitBits []uint8
 	fitKeys []string
 	d2      []keyhash.Digest
+
+	// columnar staging for ScanColumns: the fit keys packed as one
+	// contiguous byte run with offsets, feeding Kernel.HashColumn
+	// without materializing strings.
+	fitData []byte
+	fitOffs []int32
 }
 
 // setBlock points the scratch at rows [lo, hi) of r, invalidating the
 // extracted columns and the digest memo when the block changed. Retired
 // key slices are recycled into the next block's extractions.
 func (bs *BlockScratch) setBlock(r *relation.Relation, lo, hi int) {
-	if bs.rel == r && bs.lo == lo && bs.hi == hi {
+	if bs.rel == r && bs.blk == nil && bs.lo == lo && bs.hi == hi {
 		return
 	}
 	bs.rel, bs.lo, bs.hi = r, lo, hi
+	bs.blk, bs.blkGen = nil, 0
 	for i := range bs.cols {
 		bs.freeKeys = append(bs.freeKeys, bs.cols[i].keys[:0])
 	}
@@ -138,7 +150,7 @@ func (s *Scanner) ScanBlock(r *relation.Relation, lo, hi int, t *Tally, bs *Bloc
 	}
 	bs.setBlock(r, lo, hi)
 	keys := bs.keyColumn(s.keyCol)
-	d1 := bs.memo.Lane(s.keyCol, s.opts.K1, s.kern1, keys)
+	d1 := bs.memo.Lane(s.keyCol, s.k1s, s.kern1, keys)
 
 	bs.stage()
 	t.Rows += hi - lo
@@ -159,6 +171,91 @@ func (s *Scanner) ScanBlock(r *relation.Relation, lo, hi int, t *Tally, bs *Bloc
 
 	d2 := bs.d2For(len(bs.fitKeys))
 	s.kern2.HashMany(bs.fitKeys, d2)
+	bw := uint64(s.bw)
+	for i, bit := range bs.fitBits {
+		pos := int(d2[i].Mod(bw))
+		if bit == ecc.One {
+			t.Votes[pos].Ones++
+		} else {
+			t.Votes[pos].Zeros++
+		}
+		t.Last[pos] = bit
+	}
+	return nil
+}
+
+// setColumnBlock points the scratch at a columnar block, invalidating
+// the memo when the block identity changed. Pooled blocks reuse
+// pointers, so identity is the (pointer, generation) pair; a scratch
+// that last saw a row-range block is invalidated unconditionally.
+func (bs *BlockScratch) setColumnBlock(blk *relation.Block) {
+	if bs.blk == blk && bs.blkGen == blk.Gen() {
+		return
+	}
+	bs.blk, bs.blkGen = blk, blk.Gen()
+	bs.rel, bs.lo, bs.hi = nil, 0, 0
+	for i := range bs.cols {
+		bs.freeKeys = append(bs.freeKeys, bs.cols[i].keys[:0])
+	}
+	bs.cols = bs.cols[:0]
+	bs.memo.Reset()
+}
+
+// stageColumns resets the columnar staging arrays for a fresh
+// ScanColumns walk. fitOffs keeps the leading 0 sentinel so
+// fitOffs[i:i+2] brackets staged key i.
+func (bs *BlockScratch) stageColumns() {
+	bs.fitBits = bs.fitBits[:0]
+	bs.fitData = bs.fitData[:0]
+	if cap(bs.fitOffs) == 0 {
+		bs.fitOffs = make([]int32, 1, 64)
+	}
+	bs.fitOffs = bs.fitOffs[:1]
+	bs.fitOffs[0] = 0
+}
+
+// ScanColumns accumulates the votes of a columnar block into t — the
+// zero-allocation form of ScanBlock: the key column's arena bytes feed
+// Kernel.HashColumn directly (replayed from the scratch memo when
+// another scanner of the same lane got there first), the fitness and
+// domain walk stages the voting keys as one contiguous byte run, and a
+// second HashColumn call derives their positions. Every counter and
+// vote, including the order-sensitive Last column, lands exactly as
+// ScanTuple over Block.Tuple(i) would have it.
+//
+// bs follows the ScanBlock sharing rules; nil uses a throwaway scratch.
+func (s *Scanner) ScanColumns(blk *relation.Block, t *Tally, bs *BlockScratch) error {
+	if arity := blk.Schema().Arity(); s.keyCol >= arity || s.attrCol >= arity {
+		return fmt.Errorf("mark: block arity %d lacks column %d", arity, max(s.keyCol, s.attrCol))
+	}
+	if bs == nil {
+		bs = &BlockScratch{}
+	}
+	bs.setColumnBlock(blk)
+	keyData, keyOffs := blk.Col(s.keyCol).Raw()
+	d1 := bs.memo.LaneColumn(s.keyCol, s.k1s, s.kern1, keyData, keyOffs)
+
+	bs.stageColumns()
+	n := blk.Rows()
+	t.Rows += n
+	attrCol := blk.Col(s.attrCol)
+	for j := 0; j < n; j++ {
+		if !keyhash.Fit(d1[j], s.opts.E) {
+			continue
+		}
+		t.Fit++
+		idx, ok := s.dom.IndexBytes(attrCol.Value(j))
+		if !ok {
+			t.UnknownValues++
+			continue
+		}
+		bs.fitBits = append(bs.fitBits, uint8(idx&1))
+		bs.fitData = append(bs.fitData, keyData[keyOffs[j]:keyOffs[j+1]]...)
+		bs.fitOffs = append(bs.fitOffs, int32(len(bs.fitData)))
+	}
+
+	d2 := bs.d2For(len(bs.fitBits))
+	s.kern2.HashColumn(bs.fitData, bs.fitOffs, d2)
 	bw := uint64(s.bw)
 	for i, bit := range bs.fitBits {
 		pos := int(d2[i].Mod(bw))
@@ -200,7 +297,7 @@ func (e *Embedder) EmbedBlock(r *relation.Relation, lo, hi int, cs *ChunkStats, 
 	cs.Tuples += hi - lo
 	bs.setBlock(r, lo, hi)
 	keys := bs.keyColumn(e.keyCol)
-	d1 := bs.memo.Lane(e.keyCol, e.opts.K1, e.kern1, keys)
+	d1 := bs.memo.Lane(e.keyCol, e.k1s, e.kern1, keys)
 	opts := &e.opts
 
 	if opts.SkipRow != nil {

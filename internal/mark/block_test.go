@@ -359,6 +359,7 @@ func BenchmarkScanBlock(b *testing.B) {
 	}
 	n := r.Len()
 	b.Run("tuple-loop", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			tally := sc.NewTally()
 			for j := 0; j < n; j++ {
@@ -369,11 +370,41 @@ func BenchmarkScanBlock(b *testing.B) {
 	})
 	for _, block := range []int{64, 512, 4096} {
 		b.Run(fmt.Sprintf("block=%d", block), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				tally := sc.NewTally()
 				var bs BlockScratch
 				for lo := 0; lo < n; lo += block {
 					if err := sc.ScanBlock(r, lo, min(lo+block, n), tally, &bs); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "tuples/s")
+		})
+	}
+	// The columnar path: the same rows pre-packed into arena-backed
+	// blocks, voted through ScanColumns — the ingestion pipeline's
+	// steady state (zero allocations once the tally exists).
+	for _, block := range []int{512, 4096} {
+		var blks []*relation.Block
+		for lo := 0; lo < n; lo += block {
+			blk := relation.NewBlock(r.Schema())
+			blk.Reset(r.Schema())
+			for j := lo; j < min(lo+block, n); j++ {
+				if err := blk.AppendTuple(r.Tuple(j)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			blks = append(blks, blk)
+		}
+		b.Run(fmt.Sprintf("columns=%d", block), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				tally := sc.NewTally()
+				var bs BlockScratch
+				for _, blk := range blks {
+					if err := sc.ScanColumns(blk, tally, &bs); err != nil {
 						b.Fatal(err)
 					}
 				}

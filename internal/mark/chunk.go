@@ -27,6 +27,7 @@ import (
 // row ranges of the same relation.
 type Embedder struct {
 	opts         Options
+	k1s          string // opts.K1 as a string: the memo lane key, converted once
 	keyCol       int
 	attrCol      int
 	dom          *relation.Domain
@@ -47,6 +48,7 @@ func newEmbedder(opts Options, keyCol, attrCol int, dom *relation.Domain, bw int
 	}
 	return &Embedder{
 		opts:    opts,
+		k1s:     string(opts.K1),
 		keyCol:  keyCol,
 		attrCol: attrCol,
 		dom:     dom,
@@ -194,6 +196,7 @@ func MergeChunks(chunks ...ChunkStats) EmbedStats {
 // (or disjoint tallies — see ScanTuple).
 type Scanner struct {
 	opts         Options
+	k1s          string // opts.K1 as a string: the memo lane key, converted once
 	keyCol       int
 	attrCol      int
 	dom          *relation.Domain
@@ -256,6 +259,7 @@ func newScanner(keyCol, attrCol int, dom *relation.Domain, n, wmLen int, opts Op
 	}
 	return &Scanner{
 		opts:    opts,
+		k1s:     string(opts.K1),
 		keyCol:  keyCol,
 		attrCol: attrCol,
 		dom:     dom,
@@ -298,6 +302,16 @@ func (s *Scanner) NewTally() *Tally {
 		t.Last[i] = ecc.Erased
 	}
 	return t
+}
+
+// Reset clears t for reuse, keeping its bandwidth-sized arrays — the
+// pooling hook the streaming fan-out uses to recycle per-chunk tallies.
+func (t *Tally) Reset() {
+	t.Rows, t.Fit, t.UnknownValues = 0, 0, 0
+	clear(t.Votes)
+	for i := range t.Last {
+		t.Last[i] = ecc.Erased
+	}
 }
 
 // ScanTuple accumulates one tuple's vote into t — the single vote kernel

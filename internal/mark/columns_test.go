@@ -1,0 +1,226 @@
+package mark
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/keyhash"
+	"repro/internal/relation"
+)
+
+// fillBlock loads rows [lo, hi) of r into a columnar block.
+func fillBlock(blk *relation.Block, r *relation.Relation, lo, hi int) {
+	blk.Reset(r.Schema())
+	for j := lo; j < hi; j++ {
+		blk.AppendTuple(r.Tuple(j))
+	}
+}
+
+// TestScanColumnsMatchesScanBlock is the columnar equivalence property:
+// for random relations and random partitions (size-1 blocks and ragged
+// tails included), ScanColumns over columnar blocks accumulates exactly
+// the tally — and exactly the report, under both vote aggregations —
+// that ScanBlock and the ScanTuple loop produce.
+func TestScanColumnsMatchesScanBlock(t *testing.T) {
+	for trial := 0; trial < 6; trial++ {
+		rng := rand.New(rand.NewSource(int64(700 + trial)))
+		n := 1 + rng.Intn(3000)
+		r := blockTestRelation(t, n, int64(50+trial))
+		for _, agg := range []VoteAggregation{MajorityVote, LastWriteWins} {
+			for _, kind := range []keyhash.KernelKind{keyhash.KernelAuto, keyhash.KernelPortable} {
+				opts := Options{
+					Attr: "cat", K1: keyhash.NewKey("col-k1"), K2: keyhash.NewKey("col-k2"),
+					E: 3, Aggregation: agg, Domain: blockTestDomain(t),
+					BandwidthOverride: 40, HashKernel: kind,
+				}
+				sc, err := NewScanner(r, 10, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				want := sc.NewTally()
+				for j := 0; j < r.Len(); j++ {
+					sc.ScanTuple(r.Tuple(j), want)
+				}
+
+				got := sc.NewTally()
+				var bs BlockScratch
+				blk := relation.GetBlock(r.Schema())
+				for _, p := range randomPartition(rng, r.Len()) {
+					fillBlock(blk, r, p[0], p[1])
+					if err := sc.ScanColumns(blk, got, &bs); err != nil {
+						t.Fatal(err)
+					}
+				}
+				relation.PutBlock(blk)
+				if !reflect.DeepEqual(want, got) {
+					t.Fatalf("trial %d agg %v kernel %q: ScanColumns tally diverged from ScanTuple loop", trial, agg, kind)
+				}
+
+				wantRep, err1 := sc.Report(want)
+				gotRep, err2 := sc.Report(got)
+				if (err1 == nil) != (err2 == nil) || !reflect.DeepEqual(wantRep, gotRep) {
+					t.Fatalf("trial %d agg %v kernel %q: report diverged", trial, agg, kind)
+				}
+			}
+		}
+	}
+}
+
+// TestScanColumnsInterleavedWithScanBlock alternates the columnar and
+// row-range entry points through ONE scratch — a pooled block between
+// two row ranges and vice versa — proving the identity tracking
+// invalidates across modes instead of replaying a stale memo.
+func TestScanColumnsInterleavedWithScanBlock(t *testing.T) {
+	r := blockTestRelation(t, 2000, 31)
+	opts := Options{
+		Attr: "cat", K1: keyhash.NewKey("mix-k1"), K2: keyhash.NewKey("mix-k2"),
+		E: 3, Domain: blockTestDomain(t), BandwidthOverride: 32,
+	}
+	sc, err := NewScanner(r, 8, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sc.NewTally()
+	if err := sc.Scan(r, 0, r.Len(), want); err != nil {
+		t.Fatal(err)
+	}
+
+	got := sc.NewTally()
+	var bs BlockScratch
+	blk := relation.GetBlock(r.Schema())
+	rng := rand.New(rand.NewSource(33))
+	for i, p := range randomPartition(rng, r.Len()) {
+		if i%2 == 0 {
+			fillBlock(blk, r, p[0], p[1])
+			if err := sc.ScanColumns(blk, got, &bs); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			if err := sc.ScanBlock(r, p[0], p[1], got, &bs); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	relation.PutBlock(blk)
+	if !reflect.DeepEqual(want, got) {
+		t.Fatal("interleaved ScanColumns/ScanBlock diverged from sequential scan")
+	}
+}
+
+// TestScanColumnsSharedScratchAcrossScanners proves lane sharing holds
+// on the columnar path too: scanners sharing a fitness key replay each
+// other's HashColumn digests through one scratch, and a block refilled
+// in place (same pointer, bumped generation) is re-hashed, not replayed.
+func TestScanColumnsSharedScratchAcrossScanners(t *testing.T) {
+	r := blockTestRelation(t, 1500, 13)
+	dom := blockTestDomain(t)
+	newOpts := func(k1, k2 string) Options {
+		return Options{
+			Attr: "cat", K1: keyhash.NewKey(k1), K2: keyhash.NewKey(k2),
+			E: 3, Domain: dom, BandwidthOverride: 32,
+		}
+	}
+	optsList := []Options{
+		newOpts("colowner-a", "colowner-a2"),
+		newOpts("colowner-a", "colother-k2"), // shares the k1 memo lane with the first
+		newOpts("colowner-b", "colowner-b2"),
+	}
+	scanners := make([]*Scanner, len(optsList))
+	want := make([]*Tally, len(optsList))
+	for i, o := range optsList {
+		sc, err := NewScanner(r, 8, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scanners[i] = sc
+		want[i] = sc.NewTally()
+		if err := sc.Scan(r, 0, r.Len(), want[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	got := make([]*Tally, len(scanners))
+	for i, sc := range scanners {
+		got[i] = sc.NewTally()
+	}
+	var bs BlockScratch
+	blk := relation.GetBlock(r.Schema()) // one block, refilled per partition
+	rng := rand.New(rand.NewSource(14))
+	for _, p := range randomPartition(rng, r.Len()) {
+		fillBlock(blk, r, p[0], p[1])
+		for i, sc := range scanners {
+			if err := sc.ScanColumns(blk, got[i], &bs); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	relation.PutBlock(blk)
+	for i := range scanners {
+		if !reflect.DeepEqual(want[i], got[i]) {
+			t.Fatalf("scanner %d: shared-scratch columnar tally diverged from solo scan", i)
+		}
+	}
+}
+
+// TestScanColumnsSteadyStateAllocs pins the tentpole invariant at the
+// codec layer: once the scratch is warm, scanning pooled columnar
+// blocks performs zero allocations per block, and therefore per row.
+func TestScanColumnsSteadyStateAllocs(t *testing.T) {
+	r := blockTestRelation(t, 1024, 17)
+	opts := Options{
+		Attr: "cat", K1: keyhash.NewKey("al-k1"), K2: keyhash.NewKey("al-k2"),
+		E: 2, Domain: blockTestDomain(t), BandwidthOverride: 32,
+	}
+	sc, err := NewScanner(r, 8, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two distinct blocks so every scan re-keys the memo (pointer or
+	// generation changes) instead of replaying the previous call.
+	blkA := relation.GetBlock(r.Schema())
+	blkB := relation.GetBlock(r.Schema())
+	fillBlock(blkA, r, 0, 512)
+	fillBlock(blkB, r, 512, 1024)
+	tally := sc.NewTally()
+	var bs BlockScratch
+	scanBoth := func() {
+		if err := sc.ScanColumns(blkA, tally, &bs); err != nil {
+			t.Fatal(err)
+		}
+		if err := sc.ScanColumns(blkB, tally, &bs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 4; i++ { // warm the scratch, memo lanes and staging
+		scanBoth()
+	}
+	if allocs := testing.AllocsPerRun(50, scanBoth); allocs != 0 {
+		t.Fatalf("steady-state ScanColumns allocates: %.1f allocs per 2-block scan", allocs)
+	}
+	relation.PutBlock(blkA)
+	relation.PutBlock(blkB)
+}
+
+// TestScanColumnsArityGuard pins the error for a block missing the
+// scanner's columns.
+func TestScanColumnsArityGuard(t *testing.T) {
+	r := blockTestRelation(t, 10, 3)
+	opts := Options{
+		Attr: "cat", K1: keyhash.NewKey("ag-k1"), K2: keyhash.NewKey("ag-k2"),
+		E: 2, Domain: blockTestDomain(t), BandwidthOverride: 16,
+	}
+	sc, err := NewScanner(r, 8, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	narrow := relation.MustSchema([]relation.Attribute{
+		{Name: "id", Type: relation.TypeString},
+	}, "id")
+	blk := relation.GetBlock(narrow)
+	if err := sc.ScanColumns(blk, sc.NewTally(), nil); err == nil {
+		t.Fatal("expected arity error for a block lacking the attribute column")
+	}
+	relation.PutBlock(blk)
+}

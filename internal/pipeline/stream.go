@@ -54,12 +54,17 @@ type streamResult[T any] struct {
 // collecting; a collect error stops the reader early. A cancelled ctx
 // stops the reader between rows — the source is NOT drained — and the
 // call reports ctx.Err().
+//
+// Chunk relations are recycled: once collect returns for a chunk, its
+// mini-relation goes back to the reader for refilling, so neither work
+// nor collect may retain it (or any tuple of it) past their return.
 func runStream[T any](ctx context.Context, src relation.RowReader, cfg Config, work func(*relation.Relation) (T, error), collect func(T) error) error {
 	workers := cfg.workers()
 	chunkRows := cfg.streamChunkRows()
 
 	jobs := make(chan *streamJob[T], workers)
 	ordered := make(chan *streamJob[T], workers)
+	freeRels := make(chan *relation.Relation, 2*workers)
 	stop := make(chan struct{})
 	var stopOnce sync.Once
 
@@ -95,7 +100,16 @@ func runStream[T any](ctx context.Context, src relation.RowReader, cfg Config, w
 	go func() {
 		defer close(jobs)
 		defer close(ordered)
-		rel := relation.New(src.Schema())
+		newRel := func() *relation.Relation {
+			select {
+			case r := <-freeRels:
+				r.Reset()
+				return r
+			default:
+				return relation.New(src.Schema())
+			}
+		}
+		rel := newRel()
 		dispatch := func() bool {
 			job := &streamJob[T]{rel: rel, res: make(chan streamResult[T], 1)}
 			select {
@@ -104,7 +118,7 @@ func runStream[T any](ctx context.Context, src relation.RowReader, cfg Config, w
 			case jobs <- job:
 			}
 			ordered <- job
-			rel = relation.New(src.Schema())
+			rel = newRel()
 			return true
 		}
 		stopped := func() bool {
@@ -145,16 +159,19 @@ func runStream[T any](ctx context.Context, src relation.RowReader, cfg Config, w
 	var firstErr error
 	for job := range ordered {
 		r := <-job.res
-		if firstErr != nil {
-			continue // drain remaining chunks
+		if firstErr == nil {
+			if r.err != nil {
+				firstErr = r.err
+			} else if err := collect(r.val); err != nil {
+				firstErr = err
+			}
+			if firstErr != nil {
+				stopOnce.Do(func() { close(stop) })
+			}
 		}
-		if r.err != nil {
-			firstErr = r.err
-		} else if err := collect(r.val); err != nil {
-			firstErr = err
-		}
-		if firstErr != nil {
-			stopOnce.Do(func() { close(stop) })
+		select { // collect is done with the chunk — recycle it
+		case freeRels <- job.rel:
+		default:
 		}
 	}
 	wg.Wait()
@@ -242,6 +259,13 @@ func ScanMany(ctx context.Context, src relation.RowReader, scanners []*mark.Scan
 	}
 	if len(scanners) == 0 {
 		return totals, nil
+	}
+	if br, ok := src.(relation.BlockReader); ok && cfg.BlockRows >= 0 {
+		// Columnar fast path: the source fills pooled blocks directly
+		// (zero allocations per row), and the scanners vote over the
+		// arena bytes through Scanner.ScanColumns. Bit-identical to the
+		// row path below — the equivalence tests drive both.
+		return scanManyBlocks(ctx, br, scanners, totals, cfg)
 	}
 	err := runStream(ctx, src, cfg,
 		func(rel *relation.Relation) ([]*mark.Tally, error) {

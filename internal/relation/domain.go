@@ -94,6 +94,14 @@ func (d *Domain) Index(v string) (int, bool) {
 	return t, ok
 }
 
+// IndexBytes is Index for an arena-backed byte view of the value. The
+// direct map index keeps the string(...) conversion on the stack, so
+// the block-scan hot path can classify values without allocating.
+func (d *Domain) IndexBytes(v []byte) (int, bool) {
+	t, ok := d.index[string(v)]
+	return t, ok
+}
+
 // Values returns a copy of the sorted value list.
 func (d *Domain) Values() []string { return append([]string(nil), d.values...) }
 

@@ -51,6 +51,9 @@ type CSVRowReader struct {
 func NewCSVRowReader(rd io.Reader, schema *Schema) (*CSVRowReader, error) {
 	cr := csv.NewReader(rd)
 	cr.FieldsPerRecord = schema.Arity()
+	// Read copies the record into a caller-owned Tuple, so the csv.Reader
+	// can safely recycle its field slice between rows.
+	cr.ReuseRecord = true
 	header, err := cr.Read()
 	if err != nil {
 		return nil, fmt.Errorf("relation: reading CSV header: %w", err)
@@ -134,6 +137,7 @@ func (w *CSVRowWriter) Flush() error {
 type JSONLRowReader struct {
 	schema *Schema
 	dec    *json.Decoder
+	obj    map[string]string // reused decode target; cleared before each row
 	row    int
 }
 
@@ -148,12 +152,18 @@ func (r *JSONLRowReader) Schema() *Schema { return r.schema }
 // Read returns the next tuple or io.EOF. Extra or missing keys are
 // errors, as silent column loss would corrupt watermark detection.
 func (r *JSONLRowReader) Read() (Tuple, error) {
-	var obj map[string]string
-	if err := r.dec.Decode(&obj); err == io.EOF {
+	// Reuse one map across rows (a JSON null row nils it out — re-make).
+	if r.obj == nil {
+		r.obj = make(map[string]string, r.schema.Arity())
+	} else {
+		clear(r.obj)
+	}
+	if err := r.dec.Decode(&r.obj); err == io.EOF {
 		return nil, io.EOF
 	} else if err != nil {
 		return nil, fmt.Errorf("relation: reading JSONL row %d: %w", r.row, err)
 	}
+	obj := r.obj
 	if len(obj) != r.schema.Arity() {
 		return nil, fmt.Errorf("relation: JSONL row %d has %d keys, schema has %d",
 			r.row, len(obj), r.schema.Arity())

@@ -339,14 +339,18 @@ func isStreamType(mt string) bool {
 	return mt == api.ContentTypeCSV || mt == api.ContentTypeNDJSON
 }
 
-// rowReaderForFormat builds a streaming row reader for an inline payload
-// format name ("csv" or "jsonl").
+// rowReaderForFormat builds a streaming reader for an inline payload
+// format name ("csv" or "jsonl"). The zero-copy block readers returned
+// here implement RowReader for every consumer, and the scan engines
+// (pipeline.ScanMany, cluster.ScanShards) recognize their BlockReader /
+// RawShardSource sides to take the zero-allocation columnar and raw
+// byte-range shard paths.
 func rowReaderForFormat(format string, rd io.Reader, schema *relation.Schema) (relation.RowReader, error) {
 	switch strings.ToLower(format) {
 	case "", "csv":
-		return relation.NewCSVRowReader(rd, schema)
+		return relation.NewCSVBlockReader(rd, schema)
 	case "jsonl":
-		return relation.NewJSONLRowReader(rd, schema), nil
+		return relation.NewJSONLBlockReader(rd, schema), nil
 	default:
 		return nil, fmt.Errorf("unknown format %q (want csv or jsonl)", format)
 	}
