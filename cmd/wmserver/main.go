@@ -21,14 +21,20 @@
 // curl. SIGINT/SIGTERM drains in-flight requests before exiting.
 //
 // Every role serves Prometheus-format telemetry at GET /metrics and logs
-// structured lines (log/slog, -log-level) carrying the X-Request-ID that
-// correlates an API call with the shard scans it fans out; -pprof
-// additionally mounts net/http/pprof under /debug/pprof/.
+// structured lines (log/slog, -log-level, switchable at runtime via
+// PUT /debug/loglevel) carrying the X-Request-ID that correlates an API
+// call with the shard scans it fans out; -pprof additionally mounts
+// net/http/pprof under /debug/pprof/. Distributed traces ride W3C
+// traceparent headers across the cluster: GET /v2/jobs/{id}/trace
+// assembles a job's cross-process span tree, GET /debug/traces lists the
+// flight recorder's slowest and errored requests, and -trace-sample /
+// -trace-ring / -trace-off tune or disable the recorder.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"os"
 	"strconv"
@@ -36,6 +42,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/keyhash"
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 	"repro/internal/server"
 )
 
@@ -55,8 +62,11 @@ func main() {
 	shardRows := flag.String("shard-rows", "", "suspect rows per dispatched shard when coordinating: a row count, or \"auto\" to size each shard from the receiving worker's observed throughput (empty/0 = default fixed size)")
 	targetShardLatency := flag.Duration("target-shard-latency", 0, "per-shard wall time -shard-rows auto aims each worker at (0 = default)")
 	kernel := flag.String("kernel", "", "pin the batched keyed-hash backend (see 'wmtool kernels'; empty = auto-select the fastest for this machine)")
-	logLevel := flag.String("log-level", "info", "log level: debug, info, warn or error")
+	logLevel := flag.String("log-level", "info", "initial log level: debug, info, warn or error (changeable at runtime via PUT /debug/loglevel)")
 	enablePprof := flag.Bool("pprof", false, "mount /debug/pprof/ profiling endpoints")
+	traceSample := flag.Float64("trace-sample", 1, "trace head-sampling ratio in [0,1]: the probability a request's trace keeps child spans; errored requests are recorded regardless; the decision is a pure function of the trace ID, so every cluster node agrees without coordination")
+	traceRing := flag.Int("trace-ring", 0, "finished spans retained in this node's in-memory trace ring (0 = default)")
+	traceOff := flag.Bool("trace-off", false, "disable tracing and the /v2/jobs/{id}/trace, /v2/internal/trace and /debug/traces routes entirely")
 	flag.Parse()
 
 	if *coordinator && *join != "" {
@@ -83,14 +93,19 @@ func main() {
 		os.Exit(2)
 	}
 
+	level := new(slog.LevelVar)
+	level.Set(obs.ParseLevel(*logLevel))
 	err = server.Run(*addr, *storeDir, server.Config{
 		Workers:             *workers,
 		MaxBodyBytes:        *maxBody,
 		ScannerCacheEntries: *scannerCache,
 		JobWorkers:          *jobWorkers,
 		JobQueueDepth:       *jobQueue,
-		Log:                 obs.NewLogger(os.Stderr, obs.ParseLevel(*logLevel)),
+		Log:                 obs.NewLogger(os.Stderr, level),
+		LogLevel:            level,
 		EnablePprof:         *enablePprof,
+		Trace:               trace.Options{SampleRatio: *traceSample, Capacity: *traceRing},
+		TraceOff:            *traceOff,
 		HashKernel:          kind,
 		Cluster: server.ClusterConfig{
 			Coordinator:  *coordinator,

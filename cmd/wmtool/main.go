@@ -8,7 +8,8 @@
 //	wmtool verify  -in suspect.csv -schema SPEC -record cert.json | -records a.json,b.json,c.json
 //	wmtool attack  -in marked.csv -schema SPEC -type T [-frac F] [-attr A] [-seed S] -out attacked.csv
 //	wmtool analyze [-n N] [-e E] [-a A] [-p P] [-r R] [-theta T]
-//	wmtool audit   -server URL -in suspect.csv -schema SPEC [-records id1,id2] [-nowait] [-json]
+//	wmtool audit   -server URL -in suspect.csv -schema SPEC [-records id1,id2] [-nowait] [-json] [-trace]
+//	wmtool loglevel -server URL [debug|info|warn|error]
 //	wmtool serve   [-addr :8080] [-store DIR] [-workers N] [-scanner-cache N] [-job-workers N]
 //
 // SPEC is the schema grammar of internal/relation, e.g.
@@ -35,6 +36,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"strings"
 	"time"
@@ -51,6 +53,7 @@ import (
 	"repro/internal/keyhash"
 	"repro/internal/mark"
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 	"repro/internal/pipeline"
 	"repro/internal/relation"
 	"repro/internal/server"
@@ -80,6 +83,8 @@ func main() {
 		err = cmdAudit(os.Args[2:])
 	case "kernels":
 		err = cmdKernels(os.Args[2:])
+	case "loglevel":
+		err = cmdLogLevel(os.Args[2:])
 	case "serve":
 		err = cmdServe(os.Args[2:])
 	case "-h", "--help", "help":
@@ -107,6 +112,7 @@ commands:
   analyze    Section 4.4 vulnerability mathematics
   audit      submit an async corpus audit to a wmserver and await the verdicts
   kernels    list the batched hash backends and their calibrated speeds
+  loglevel   read or set a running wmserver's log level without a restart
   serve      run the wmserver HTTP API in-process
 
 watermark and verify accept -server URL to run against a live wmserver
@@ -692,18 +698,26 @@ func cmdServe(args []string) error {
 	scannerCache := fs.Int("scanner-cache", 0, "prepared-certificate cache entries (0 = default, negative = disable)")
 	jobWorkers := fs.Int("job-workers", 0, "concurrent async jobs (0 = default)")
 	jobQueue := fs.Int("job-queue", 0, "async job queue depth; beyond it POST /v2/jobs replies 429 (0 = default)")
-	logLevel := fs.String("log-level", "info", "log level: debug, info, warn or error")
+	logLevel := fs.String("log-level", "info", "initial log level: debug, info, warn or error (changeable at runtime via PUT /debug/loglevel)")
 	enablePprof := fs.Bool("pprof", false, "mount /debug/pprof/ profiling endpoints")
+	traceSample := fs.Float64("trace-sample", 1, "trace head-sampling ratio in [0,1]; errored requests are recorded regardless")
+	traceRing := fs.Int("trace-ring", 0, "finished spans retained in the trace ring (0 = default)")
+	traceOff := fs.Bool("trace-off", false, "disable tracing and the trace routes entirely")
 	fs.Parse(args)
 
+	level := new(slog.LevelVar)
+	level.Set(obs.ParseLevel(*logLevel))
 	return server.Run(*addr, *storeDir, server.Config{
 		Workers:             *workers,
 		MaxBodyBytes:        *maxBody,
 		ScannerCacheEntries: *scannerCache,
 		JobWorkers:          *jobWorkers,
 		JobQueueDepth:       *jobQueue,
-		Log:                 obs.NewLogger(os.Stderr, obs.ParseLevel(*logLevel)),
+		Log:                 obs.NewLogger(os.Stderr, level),
+		LogLevel:            level,
 		EnablePprof:         *enablePprof,
+		Trace:               trace.Options{SampleRatio: *traceSample, Capacity: *traceRing},
+		TraceOff:            *traceOff,
 	})
 }
 
@@ -897,6 +911,7 @@ func cmdAudit(args []string) error {
 	poll := fs.Duration("poll", 0, "fixed poll interval while waiting (0 = capped exponential backoff with jitter)")
 	quiet := fs.Bool("quiet", false, "suppress progress lines while waiting")
 	jsonOut := fs.Bool("json", false, "emit the final batch report (or, with -nowait, the job resource) as JSON on stdout; human chatter goes to stderr")
+	showTrace := fs.Bool("trace", false, "after the summary, fetch GET /v2/jobs/{id}/trace and render the distributed span tree with a per-phase latency table")
 	prof := addProfileFlags(fs)
 	fs.Parse(args)
 
@@ -962,10 +977,17 @@ func cmdAudit(args []string) error {
 	case api.JobDone:
 		fmt.Fprintf(human, "job %s done in %s\n", final.ID, time.Since(start).Round(time.Millisecond))
 		printAuditSummary(human, final, time.Since(start))
+		if !*jsonOut {
+			printBatchResults(*in, *serverURL, final.VerifyBatch)
+		}
+		// The trace always renders on the human stream — with -json it
+		// lands on stderr and stdout stays the machine-pure report.
+		if *showTrace {
+			showJobTrace(ctx, c, human, final.ID)
+		}
 		if *jsonOut {
 			return writeJSONOut(final.VerifyBatch)
 		}
-		printBatchResults(*in, *serverURL, final.VerifyBatch)
 		return nil
 	case api.JobCancelled:
 		return fmt.Errorf("audit: job %s was cancelled", final.ID)

@@ -1,0 +1,149 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/client"
+)
+
+// showJobTrace fetches a finished job's assembled cross-process span
+// tree and renders it — the -trace tail of `wmtool audit`. The tree is
+// best-effort by design (rings are bounded, workers may be gone), so a
+// fetch failure is reported on the human stream and never fails the
+// audit that produced it.
+func showJobTrace(ctx context.Context, c *client.Client, w io.Writer, jobID string) {
+	jt, err := c.JobTrace(ctx, jobID)
+	if err != nil {
+		fmt.Fprintf(w, "trace unavailable: %v\n", err)
+		return
+	}
+	renderJobTrace(w, jt)
+}
+
+// renderJobTrace prints the span tree indented by depth, then the
+// per-phase latency table collected from spans carrying the pipeline's
+// ingest_ns/hash_ns/vote_ns/merge_ns attributes.
+func renderJobTrace(w io.Writer, jt *api.JobTrace) {
+	if jt.SpanCount == 0 {
+		fmt.Fprintf(w, "trace %s: no spans retained (sampling off, or rings evicted them)\n", jt.TraceID)
+		return
+	}
+	fmt.Fprintf(w, "trace %s: %d spans\n", jt.TraceID, jt.SpanCount)
+	var walk func(n *api.TraceNode, depth int)
+	walk = func(n *api.TraceNode, depth int) {
+		sp := n.Span
+		name := strings.Repeat("  ", depth) + sp.Name
+		line := fmt.Sprintf("  %-44s %12s", name, time.Duration(sp.DurationNs).Round(time.Microsecond))
+		if sp.Node != "" {
+			line += "  [" + sp.Node + "]"
+		}
+		if sp.Error != "" {
+			line += "  error: " + sp.Error
+		}
+		fmt.Fprintln(w, line)
+		for _, c := range n.Children {
+			walk(c, depth+1)
+		}
+	}
+	for _, r := range jt.Roots {
+		walk(r, 0)
+	}
+	renderPhaseTable(w, jt)
+}
+
+// phaseAttrs names the pipeline's per-phase span attributes in render
+// order. The values are CPU nanoseconds summed across the scan's worker
+// goroutines, so columns can exceed the span's wall duration — that gap
+// is the parallelism.
+var phaseAttrs = [4]string{"ingest_ns", "hash_ns", "vote_ns", "merge_ns"}
+
+// renderPhaseTable prints one row per span that carries phase timings
+// (typically one per executed shard, or one for a single-node scan) and
+// a cross-shard total row.
+func renderPhaseTable(w io.Writer, jt *api.JobTrace) {
+	type row struct {
+		name, node string
+		ns         [4]int64
+	}
+	var rows []row
+	var walk func(n *api.TraceNode)
+	walk = func(n *api.TraceNode) {
+		sp := n.Span
+		r := row{name: sp.Name, node: sp.Node}
+		found := false
+		for i, key := range phaseAttrs {
+			if v, err := strconv.ParseInt(sp.Attrs[key], 10, 64); err == nil {
+				r.ns[i], found = v, true
+			}
+		}
+		if found {
+			rows = append(rows, r)
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	for _, r := range jt.Roots {
+		walk(r)
+	}
+	if len(rows) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "per-phase CPU time (summed across scan workers):\n")
+	fmt.Fprintf(w, "  %-34s %-12s %10s %10s %10s %10s\n", "span", "node", "ingest", "hash", "vote", "merge")
+	var total [4]int64
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-34s %-12s", r.name, r.node)
+		for i, ns := range r.ns {
+			total[i] += ns
+			fmt.Fprintf(w, " %10s", time.Duration(ns).Round(time.Microsecond))
+		}
+		fmt.Fprintln(w)
+	}
+	if len(rows) > 1 {
+		fmt.Fprintf(w, "  %-34s %-12s", "total", "")
+		for _, ns := range total {
+			fmt.Fprintf(w, " %10s", time.Duration(ns).Round(time.Microsecond))
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// cmdLogLevel reads or sets a running wmserver's log level over the
+// /debug/loglevel route: with no positional argument it prints the level
+// in effect, with one it asks the server to switch (debug, info, warn or
+// error) — no restart, the server's slog.LevelVar flips in place.
+func cmdLogLevel(args []string) error {
+	fs := flag.NewFlagSet("loglevel", flag.ExitOnError)
+	serverURL := fs.String("server", "", "wmserver base URL (required)")
+	fs.Parse(args)
+	if *serverURL == "" {
+		return fmt.Errorf("loglevel: -server is required")
+	}
+	if fs.NArg() > 1 {
+		return fmt.Errorf("loglevel: want at most one level argument, got %d", fs.NArg())
+	}
+	c := client.New(*serverURL)
+	ctx := context.Background()
+	if fs.NArg() == 0 {
+		level, err := c.LogLevel(ctx)
+		if err != nil {
+			return err
+		}
+		fmt.Println(level)
+		return nil
+	}
+	level, err := c.SetLogLevel(ctx, fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("log level now %s\n", level)
+	return nil
+}

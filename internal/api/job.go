@@ -66,6 +66,10 @@ type Job struct {
 	Watermark *WatermarkResponse `json:"watermark,omitempty"`
 	// VerifyBatch holds the result of a done verify_batch job.
 	VerifyBatch *BatchVerifyResponse `json:"verify_batch,omitempty"`
+	// TraceID is the submitting request's hex trace ID — the handle GET
+	// /v2/jobs/{id}/trace resolves. Empty when the server runs without
+	// tracing.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // JobList is the GET /v2/jobs reply, newest first.

@@ -1,0 +1,72 @@
+package api
+
+import "time"
+
+// TraceSpan is one finished span on the wire — the serialized form of a
+// span retained in some process's ring. IDs are lowercase hex (32 chars
+// for trace IDs, 16 for span IDs) matching the W3C traceparent fields.
+type TraceSpan struct {
+	TraceID string `json:"trace_id"`
+	SpanID  string `json:"span_id"`
+	// ParentID is empty on the tree's true root. A span whose parent
+	// lives on another process sets Remote — the seam traceparent
+	// propagation stitched across.
+	ParentID string `json:"parent_id,omitempty"`
+	Remote   bool   `json:"remote,omitempty"`
+	Name     string `json:"name"`
+	// Node is the advertised identity of the process that retained the
+	// span: the coordinator's or worker's base URL, or "local" when the
+	// server has no cluster identity.
+	Node       string            `json:"node,omitempty"`
+	Start      time.Time         `json:"start"`
+	DurationNs int64             `json:"duration_ns"`
+	Error      string            `json:"error,omitempty"`
+	Attrs      map[string]string `json:"attrs,omitempty"`
+}
+
+// TraceSpanList is the GET /v2/internal/trace/{traceID} reply: one
+// process's retained spans of the trace, oldest first. The ring is
+// bounded, so the list is best-effort — an evicted span simply re-roots
+// its children in the assembled tree.
+type TraceSpanList struct {
+	Spans []TraceSpan `json:"spans"`
+}
+
+// TraceNode is one vertex of an assembled span tree.
+type TraceNode struct {
+	Span     TraceSpan    `json:"span"`
+	Children []*TraceNode `json:"children,omitempty"`
+}
+
+// JobTrace is the GET /v2/jobs/{id}/trace reply: the job's cross-process
+// span tree, assembled from the coordinator's ring plus every live
+// worker's ring (pulled by trace ID over the internal trace route).
+type JobTrace struct {
+	JobID   string `json:"job_id"`
+	TraceID string `json:"trace_id"`
+	// SpanCount is the number of spans assembled into Roots.
+	SpanCount int `json:"span_count"`
+	// Roots are the parentless (or orphaned-by-eviction) subtrees,
+	// oldest first — for a fully retained trace, exactly one: the
+	// submitting HTTP request's server span.
+	Roots []*TraceNode `json:"roots"`
+}
+
+// FlightList is the GET /debug/traces reply: the flight recorder's
+// retained root spans — errored requests newest first, then the slowest
+// successes — regardless of the sampling ratio.
+type FlightList struct {
+	Spans []TraceSpan `json:"spans"`
+}
+
+// LogLevelRequest is the PUT /debug/loglevel body; LogLevelResponse (and
+// the GET reply) reports the level now in effect. Levels are the slog
+// spellings: debug, info, warn, error.
+type LogLevelRequest struct {
+	Level string `json:"level"`
+}
+
+// LogLevelResponse reports the server's active log level.
+type LogLevelResponse struct {
+	Level string `json:"level"`
+}

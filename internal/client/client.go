@@ -37,6 +37,7 @@ import (
 
 	"repro/internal/api"
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 )
 
 // Client talks to one wmserver base URL. The zero value is not usable;
@@ -102,6 +103,13 @@ func (c *Client) exchangeHeader(req *http.Request, out any) (http.Header, error)
 	// correlatable with the API call that caused it.
 	if id := obs.RequestID(req.Context()); id != "" && req.Header.Get(obs.RequestIDHeader) == "" {
 		req.Header.Set(obs.RequestIDHeader, id)
+	}
+	// Same for the W3C trace context: a downstream server span joins the
+	// caller's trace instead of minting its own, which is what stitches a
+	// coordinator's dispatch span and the worker's shard execution into
+	// one tree.
+	if sc, ok := trace.FromContext(req.Context()); ok && req.Header.Get(trace.Header) == "" {
+		req.Header.Set(trace.Header, sc.Traceparent())
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
@@ -468,6 +476,47 @@ func (c *Client) WaitJob(ctx context.Context, id string, poll time.Duration) (*a
 	return c.WaitJobWith(ctx, id, WaitOptions{
 		Initial: poll, Max: poll, Jitter: -1,
 	})
+}
+
+// JobTrace fetches a job's assembled cross-process span tree. Available
+// once the job was submitted to a tracing server; jobs whose trace was
+// never sampled (and never errored) come back with zero spans.
+func (c *Client) JobTrace(ctx context.Context, id string) (*api.JobTrace, error) {
+	var out api.JobTrace
+	if err := c.do(ctx, http.MethodGet, "/v2/jobs/"+url.PathEscape(id)+"/trace", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// TraceSpans fetches one server's retained spans of a trace — the
+// cluster-internal route a coordinator assembles worker-side subtrees
+// from.
+func (c *Client) TraceSpans(ctx context.Context, traceID string) ([]api.TraceSpan, error) {
+	var out api.TraceSpanList
+	if err := c.do(ctx, http.MethodGet, "/v2/internal/trace/"+url.PathEscape(traceID), nil, &out); err != nil {
+		return nil, err
+	}
+	return out.Spans, nil
+}
+
+// LogLevel reads the server's active log level.
+func (c *Client) LogLevel(ctx context.Context) (string, error) {
+	var out api.LogLevelResponse
+	if err := c.do(ctx, http.MethodGet, "/debug/loglevel", nil, &out); err != nil {
+		return "", err
+	}
+	return out.Level, nil
+}
+
+// SetLogLevel changes the server's log level at runtime (debug, info,
+// warn, error) and returns the level now in effect.
+func (c *Client) SetLogLevel(ctx context.Context, level string) (string, error) {
+	var out api.LogLevelResponse
+	if err := c.do(ctx, http.MethodPut, "/debug/loglevel", api.LogLevelRequest{Level: level}, &out); err != nil {
+		return "", err
+	}
+	return out.Level, nil
 }
 
 // ---- record resources ----

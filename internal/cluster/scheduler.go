@@ -13,6 +13,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/mark"
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 	"repro/internal/relation"
 )
 
@@ -527,12 +528,24 @@ func (s *scan) runShard(task *shardTask, m *member) {
 	if met := s.c.met; met != nil {
 		met.dispatched.With(m.id).Inc()
 	}
+	// One child span per attempt: a retried shard shows up as N dispatch
+	// spans under the same scan, each naming the worker it tried. The
+	// span's context rides into the RPC, so the worker's server span —
+	// and everything under it — joins this trace via traceparent.
+	sctx, span := trace.Start(s.ctx, "cluster.shard.dispatch")
+	defer span.End()
+	span.SetInt("shard", int64(task.idx))
+	span.SetInt("sub", int64(task.sub))
+	span.SetInt("rows", int64(task.rows))
+	span.SetAttr("worker", m.id)
+	span.SetInt("attempt", int64(task.attempts+1))
 	s.c.log.Debug("cluster: shard dispatched",
 		"request_id", obs.RequestID(s.ctx), "shard", task.idx, "rows", task.rows,
 		"worker", m.id, "attempt", task.attempts+1)
 	start := time.Now()
-	tallies, err := s.callWorker(task, m)
+	tallies, err := s.callWorker(sctx, task, m)
 	elapsed := time.Since(start)
+	span.SetError(err)
 	if met := s.c.met; met != nil {
 		met.latency.With(m.id).Observe(elapsed.Seconds())
 		if err != nil && s.ctx.Err() == nil {
@@ -588,7 +601,13 @@ func (s *scan) runShard(task *shardTask, m *member) {
 			// empty scheduler and finish without the shard.
 			requeue := []*shardTask{task}
 			if s.c.cfg.AutoShardRows && !task.child && task.rows >= 2*s.c.cfg.minShardRows() {
-				if children, splitErr := s.splitTask(task); splitErr == nil {
+				_, rspan := trace.Start(s.ctx, "cluster.shard.resplit")
+				rspan.SetInt("shard", int64(task.idx))
+				rspan.SetInt("rows", int64(task.rows))
+				children, splitErr := s.splitTask(task)
+				rspan.SetError(splitErr)
+				rspan.End()
+				if splitErr == nil {
 					s.subCount[task.idx] = len(children)
 					requeue = children
 					split = len(children)
@@ -683,8 +702,8 @@ var errInvalidShardResponse = errors.New("invalid shard response")
 // callWorker runs the shard RPC under the shard timeout and validates the
 // response down to decoded, bandwidth-checked tallies — a malformed
 // partial is a shard failure (and a retry), never a corrupt merge.
-func (s *scan) callWorker(task *shardTask, m *member) ([]*mark.Tally, error) {
-	ctx, cancel := context.WithTimeout(s.ctx, s.c.cfg.shardTimeout())
+func (s *scan) callWorker(ctx context.Context, task *shardTask, m *member) ([]*mark.Tally, error) {
+	ctx, cancel := context.WithTimeout(ctx, s.c.cfg.shardTimeout())
 	defer cancel()
 	resp, err := m.client.ScanShard(ctx, api.ShardScanRequest{
 		Shard:     task.idx,

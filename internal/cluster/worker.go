@@ -12,8 +12,10 @@ import (
 	"repro/internal/api"
 	"repro/internal/client"
 	"repro/internal/core"
+	"repro/internal/keyhash"
 	"repro/internal/mark"
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 	"repro/internal/pipeline"
 	"repro/internal/relation"
 )
@@ -34,9 +36,24 @@ import (
 // loudly (the shard is retried, then the audit fails) beats merging a
 // tally hole silently.
 func ExecuteShard(ctx context.Context, req api.ShardScanRequest, opts core.BatchOptions) (*api.ShardScanResponse, error) {
+	// The worker-side execution span: a child of the coordinator's
+	// dispatch span when the RPC carried traceparent (the server
+	// middleware joined it into ctx). Phase clocks ride the pipeline
+	// config only when the trace is sampled — ph stays nil otherwise and
+	// the zero-alloc scan path never reads a clock.
+	ctx, span := trace.Start(ctx, "shard.execute")
+	defer span.End()
+	span.SetInt("shard", int64(req.Shard))
+	var ph *trace.Phases
+	if span != nil {
+		ph = &trace.Phases{}
+	}
+
 	schema, err := relation.ParseSchemaSpec(req.Schema)
 	if err != nil {
-		return nil, fmt.Errorf("cluster: shard %d schema: %w", req.Shard, err)
+		err = fmt.Errorf("cluster: shard %d schema: %w", req.Shard, err)
+		span.SetError(err)
+		return nil, err
 	}
 	// The zero-copy block readers implement RowReader, so every engine
 	// accepts them; pipeline.ScanMany additionally recognizes the
@@ -51,14 +68,18 @@ func ExecuteShard(ctx context.Context, req api.ShardScanRequest, opts core.Batch
 		err = fmt.Errorf("unknown format %q (want csv or jsonl)", req.Format)
 	}
 	if err != nil {
-		return nil, fmt.Errorf("cluster: shard %d rows: %w", req.Shard, err)
+		err = fmt.Errorf("cluster: shard %d rows: %w", req.Shard, err)
+		span.SetError(err)
+		return nil, err
 	}
 
 	prep := core.PrepareBatch(req.Records, schema, opts)
 	if errs := prep.Errs(); len(prep.Scanners()) != len(req.Records) {
 		for i, err := range errs {
 			if err != nil {
-				return nil, fmt.Errorf("cluster: shard %d certificate %d: %w", req.Shard, i, err)
+				err = fmt.Errorf("cluster: shard %d certificate %d: %w", req.Shard, i, err)
+				span.SetError(err)
+				return nil, err
 			}
 		}
 	}
@@ -71,16 +92,27 @@ func ExecuteShard(ctx context.Context, req api.ShardScanRequest, opts core.Batch
 		Workers:   normalizeWorkers(workers),
 		BlockRows: req.BlockRows,
 		Progress:  opts.Progress,
+		Phases:    ph,
 	})
 	if err != nil {
+		span.SetError(err)
 		return nil, err
 	}
+	if span != nil {
+		kernel := string(opts.HashKernel)
+		if kernel == "" {
+			kernel = keyhash.ActiveKernel()
+		}
+		span.SetAttr("kernel", kernel)
+	}
+	ph.Annotate(span)
 	resp := &api.ShardScanResponse{Shard: req.Shard, Tallies: make([]mark.TallyWire, len(tallies))}
 	for j, t := range tallies {
 		resp.Tallies[j] = t.Wire()
 	}
 	if len(tallies) > 0 {
 		resp.Rows = tallies[0].Rows
+		span.SetInt("rows", int64(tallies[0].Rows))
 	}
 	return resp, nil
 }

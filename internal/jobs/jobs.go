@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 )
 
 // State is a job's lifecycle state. The spellings match api.JobState —
@@ -104,6 +105,10 @@ type Snapshot struct {
 	// Progress is the work counted so far (tuples processed, for scan
 	// jobs) — live while the job runs, final afterwards.
 	Progress int64
+	// TraceID is the hex trace ID of the submitting request, when the
+	// job was submitted with WithSpanContext — the key GET
+	// /v2/jobs/{id}/trace resolves the span tree by. Empty otherwise.
+	TraceID string
 }
 
 // Errors returned by the manager surface.
@@ -140,6 +145,11 @@ type Config struct {
 	// histograms, terminal-outcome counters, and the aggregate
 	// tuples-scanned counter fed by every job's Progress.
 	Obs *obs.Registry
+	// Trace, when non-nil, links jobs into the submitting request's
+	// trace: a job.queue span covers created→started, and the Func runs
+	// under a job.run span whose context re-attaches the request's span
+	// context to the manager's detached base context.
+	Trace *trace.Recorder
 }
 
 // Defaults for Config's zero values.
@@ -163,6 +173,29 @@ type job struct {
 	result   any
 	progress Progress           // updated lock-free by the running Func
 	cancel   context.CancelFunc // cancels this job's context
+
+	// sc is the submitting request's span context (zero when untraced);
+	// queueSpan covers created→started and is ended on whichever path
+	// takes the job out of the queue (run, cancel, sweep, queue-full).
+	sc        trace.SpanContext
+	queueSpan *trace.Span
+}
+
+// endQueueSpan closes the queue-wait span once, on whichever path
+// removes the job from the queue.
+func (j *job) endQueueSpan() {
+	j.queueSpan.End()
+	j.queueSpan = nil
+}
+
+// SubmitOption customizes one submission.
+type SubmitOption func(*job)
+
+// WithSpanContext links the job into the submitting request's trace:
+// the queue-wait and run spans become children of sc, and the Func's
+// context carries it onward into the scan stack.
+func WithSpanContext(sc trace.SpanContext) SubmitOption {
+	return func(j *job) { j.sc = sc }
 }
 
 // Manager owns the worker pool and the job table.
@@ -239,7 +272,7 @@ func newID() (string, error) {
 // Submit enqueues fn as a new job of the given kind and returns its
 // queued snapshot. It never blocks: a full queue fails fast with
 // ErrQueueFull.
-func (m *Manager) Submit(kind string, fn Func) (Snapshot, error) {
+func (m *Manager) Submit(kind string, fn Func, opts ...SubmitOption) (Snapshot, error) {
 	id, err := newID()
 	if err != nil {
 		return Snapshot{}, err
@@ -251,8 +284,18 @@ func (m *Manager) Submit(kind string, fn Func) (Snapshot, error) {
 		state:   StateQueued,
 		created: time.Now(),
 	}
+	for _, opt := range opts {
+		opt(j)
+	}
 	if m.met != nil {
 		j.progress.sink = m.met.tuples
+	}
+	if m.cfg.Trace != nil && j.sc.Valid() {
+		qctx := m.cfg.Trace.Attach(m.baseCtx, j.sc)
+		//wmlint:ignore spanend queue span outlives Submit by design; every dequeue path calls endQueueSpan
+		_, j.queueSpan = trace.Start(qctx, "job.queue")
+		j.queueSpan.SetAttr("job_id", id)
+		j.queueSpan.SetAttr("kind", kind)
 	}
 
 	m.mu.Lock()
@@ -274,6 +317,8 @@ func (m *Manager) Submit(kind string, fn Func) (Snapshot, error) {
 	default:
 		m.mu.Lock()
 		delete(m.jobs, id)
+		j.queueSpan.SetError(ErrQueueFull)
+		j.endQueueSpan()
 		m.mu.Unlock()
 		return Snapshot{}, ErrQueueFull
 	}
@@ -312,10 +357,23 @@ func (m *Manager) run(j *job) {
 	if m.met != nil {
 		m.met.queueWait.Observe(j.started.Sub(j.created).Seconds())
 	}
+	j.endQueueSpan()
 	m.notifyLocked()
 	m.mu.Unlock()
 
-	result, err := fn(ctx, &j.progress)
+	// The job context is detached from the submitting request by design
+	// (the request returns 202 and moves on), so the trace link is
+	// re-attached explicitly: the run span — and everything the Func
+	// starts under it — joins the submitter's tree.
+	runCtx := m.cfg.Trace.Attach(ctx, j.sc)
+	runCtx, span := trace.Start(runCtx, "job.run")
+	span.SetAttr("job_id", j.id)
+	span.SetAttr("kind", j.kind)
+
+	result, err := fn(runCtx, &j.progress)
+
+	span.SetError(err)
+	span.End()
 
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -431,6 +489,8 @@ func (m *Manager) Cancel(id string) (Snapshot, error) {
 		j.err = context.Canceled
 		j.finished = time.Now()
 		j.fn = nil
+		j.queueSpan.SetError(context.Canceled)
+		j.endQueueSpan()
 		m.met.outcome(j.kind, j.state)
 		m.notifyLocked()
 	case StateRunning:
@@ -484,6 +544,8 @@ func (m *Manager) Close() {
 			j.err = context.Canceled
 			j.finished = time.Now()
 			j.fn = nil
+			j.queueSpan.SetError(context.Canceled)
+			j.endQueueSpan()
 			m.met.outcome(j.kind, j.state)
 		}
 	}
@@ -555,7 +617,7 @@ func (m *Manager) snapshotOf(j *job) Snapshot {
 // counter is read atomically — a running Func updates it without the
 // manager lock.
 func snapshotLocked(j *job) Snapshot {
-	return Snapshot{
+	snap := Snapshot{
 		ID:       j.id,
 		Kind:     j.kind,
 		Seq:      j.seq,
@@ -567,4 +629,8 @@ func snapshotLocked(j *job) Snapshot {
 		Result:   j.result,
 		Progress: j.progress.Tuples(),
 	}
+	if j.sc.Valid() {
+		snap.TraceID = j.sc.TraceID.String()
+	}
+	return snap
 }

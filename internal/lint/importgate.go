@@ -56,6 +56,11 @@ var importRules = []importRule{
 		reason:     "the keyed-hash hot path must not grow dependencies",
 	},
 	{
+		pkg:        "repro/internal/obs/trace",
+		stdlibOnly: true,
+		reason:     "the tracing pillar rides every layer and must stay as dependency-free as obs itself",
+	},
+	{
 		pkg: "repro/internal/api",
 		deny: []string{
 			"repro/internal/server",

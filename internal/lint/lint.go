@@ -26,6 +26,9 @@
 //   - arenacopy:    the zero-allocation block pipeline must not convert
 //     arena-backed byte slices to strings — that reintroduces the
 //     per-row allocation the columnar path eliminates.
+//   - spanend:      every trace span started in internal/ must be
+//     deterministically ended — End is the publication point, so a
+//     missed End silently drops the span's subtree from every trace.
 //
 // cmd/wmlint is the multichecker binary; CI runs it in place of the
 // shell grep gates it replaced.
@@ -103,6 +106,7 @@ func All() []*Analyzer {
 		SlogOnly,
 		Determinism,
 		ArenaCopy,
+		SpanEnd,
 	}
 }
 

@@ -25,6 +25,7 @@ var fixtureCases = []struct {
 	{"slogonly", "slogonly"},
 	{"determinism", "determinism"},
 	{"arenacopy", "arenacopy"},
+	{"spanend", "spanend"},
 }
 
 // wantComment extracts the expectation regex from a fixture line.

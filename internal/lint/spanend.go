@@ -1,0 +1,191 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SpanEnd enforces the span-lifecycle contract of internal/obs/trace: a
+// span that is started must be deterministically ended, because End is
+// the publication point — an unended span never reaches the ring or the
+// flight recorder, and its whole subtree silently vanishes from
+// assembled traces. Every call to trace.Start or Recorder.StartServer
+// in internal/ must therefore have a dominating End on the span it
+// returns:
+//
+//   - `defer sp.End()` anywhere in the same function (the idiom), or
+//   - a plain `sp.End()` statement in the same block as the Start, with
+//     no return statement anywhere between the two — a straight-line
+//     bracket no early exit can escape.
+//
+// A span discarded into `_`, or stored somewhere the function cannot
+// guarantee to end (a struct field, say), is reported: such lifecycles
+// exist (the job queue span outlives Submit by design) but each must
+// carry a //wmlint:ignore directive explaining who ends it.
+var SpanEnd = &Analyzer{
+	Name: "spanend",
+	Doc: "every span opened with trace.Start/StartServer must be ended on all paths: " +
+		"defer sp.End(), or a same-block End with no intervening return",
+	Applies: pathIn("repro/internal"),
+	Run:     runSpanEnd,
+}
+
+// tracePkg is the defining package of the Start functions and the Span
+// type the analyzer tracks.
+const tracePkg = "repro/internal/obs/trace"
+
+func runSpanEnd(pass *Pass) error {
+	info := pass.Pkg.Info
+	forEachFile(pass, func(f *ast.File) {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkSpanFunc(pass, info, fd.Body)
+			}
+		}
+	})
+	return nil
+}
+
+// checkSpanFunc analyzes one function body (recursing into nested
+// function literals, each its own scope: a span started inside a
+// closure must be ended inside it).
+func checkSpanFunc(pass *Pass, info *types.Info, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			checkSpanFunc(pass, info, lit.Body)
+			return false
+		}
+		block, ok := n.(*ast.BlockStmt)
+		if !ok {
+			return true
+		}
+		for i, st := range block.List {
+			assign, ok := st.(*ast.AssignStmt)
+			if !ok || len(assign.Rhs) != 1 {
+				continue
+			}
+			call, ok := assign.Rhs[0].(*ast.CallExpr)
+			if !ok || !isSpanStart(info, call) {
+				continue
+			}
+			checkSpanAssign(pass, info, body, block, i, assign)
+		}
+		return true
+	})
+}
+
+// isSpanStart reports whether call opens a span: the package function
+// trace.Start or the Recorder method StartServer.
+func isSpanStart(info *types.Info, call *ast.CallExpr) bool {
+	return calleeIn(info, call, tracePkg, "Start") ||
+		methodOn(info, call, tracePkg, "StartServer", "Recorder")
+}
+
+// checkSpanAssign validates one `..., sp := trace.Start*(...)` statement
+// (block.List[idx]) inside funcBody.
+func checkSpanAssign(pass *Pass, info *types.Info, funcBody *ast.BlockStmt, block *ast.BlockStmt, idx int, assign *ast.AssignStmt) {
+	// The span is the call's last result; a mismatched assignment shape
+	// would not type-check, so the last LHS is the span destination.
+	dest := assign.Lhs[len(assign.Lhs)-1]
+	id, ok := ast.Unparen(dest).(*ast.Ident)
+	if !ok {
+		pass.Reportf(assign.Pos(),
+			"span from trace start call is stored outside the function — End cannot be verified here; "+
+				"end it on every path and annotate with //wmlint:ignore spanend <who ends it>")
+		return
+	}
+	if id.Name == "_" {
+		pass.Reportf(assign.Pos(),
+			"span from trace start call is discarded — an unended span never reaches the ring; "+
+				"assign it and defer End()")
+		return
+	}
+	obj := info.Defs[id]
+	if obj == nil {
+		obj = info.Uses[id]
+	}
+	if obj == nil {
+		return
+	}
+	if hasDeferredEnd(info, funcBody, obj) {
+		return
+	}
+	if sameBlockEnd(info, block, idx, obj) {
+		return
+	}
+	pass.Reportf(assign.Pos(),
+		"span %q is not deterministically ended — add `defer %s.End()`, or call %s.End() in this "+
+			"block with no return between Start and End", id.Name, id.Name, id.Name)
+}
+
+// hasDeferredEnd reports a `defer sp.End()` (or a deferred closure
+// calling sp.End()) anywhere in the function body.
+func hasDeferredEnd(info *types.Info, body *ast.BlockStmt, span types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		d, ok := n.(*ast.DeferStmt)
+		if !ok {
+			// Do not descend into non-deferred closures: their execution
+			// is not tied to this function's exit.
+			_, isLit := n.(*ast.FuncLit)
+			return !isLit
+		}
+		if isEndOn(info, d.Call, span) {
+			found = true
+			return false
+		}
+		if lit, ok := ast.Unparen(d.Call.Fun).(*ast.FuncLit); ok {
+			ast.Inspect(lit.Body, func(m ast.Node) bool {
+				if call, ok := m.(*ast.CallExpr); ok && isEndOn(info, call, span) {
+					found = true
+				}
+				return !found
+			})
+		}
+		return false
+	})
+	return found
+}
+
+// sameBlockEnd reports a straight-line bracket: a plain sp.End()
+// statement later in the same block, with no return statement anywhere
+// in the statements between (an early exit there would skip the End).
+func sameBlockEnd(info *types.Info, block *ast.BlockStmt, idx int, span types.Object) bool {
+	for _, st := range block.List[idx+1:] {
+		if expr, ok := st.(*ast.ExprStmt); ok {
+			if call, ok := expr.X.(*ast.CallExpr); ok && isEndOn(info, call, span) {
+				return true
+			}
+		}
+		if containsReturn(st) {
+			return false
+		}
+	}
+	return false
+}
+
+// containsReturn reports a return statement anywhere in st, excluding
+// nested function literals (their returns exit the closure, not this
+// function).
+func containsReturn(st ast.Stmt) bool {
+	found := false
+	inspectSameGoroutine(st, func(n ast.Node) {
+		if _, ok := n.(*ast.ReturnStmt); ok {
+			found = true
+		}
+	})
+	return found
+}
+
+// isEndOn reports whether call is sp.End() on the given span object.
+func isEndOn(info *types.Info, call *ast.CallExpr, span types.Object) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "End" {
+		return false
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	return ok && info.Uses[id] == span
+}

@@ -1,0 +1,100 @@
+// Package fixture exercises the spanend analyzer: spans that leak
+// (no End, discarded, escaping the function, an early return slipping
+// past a same-block End) and the compliant lifecycles that must pass.
+//
+//wmlint:fixture repro/internal/pipeline
+package fixture
+
+import (
+	"context"
+	"errors"
+
+	"repro/internal/obs/trace"
+)
+
+type holder struct {
+	sp *trace.Span
+}
+
+func leaks(ctx context.Context) {
+	_, sp := trace.Start(ctx, "leaks") // want `span "sp" is not deterministically ended`
+	sp.SetAttr("k", "v")
+}
+
+func discarded(ctx context.Context) {
+	_, _ = trace.Start(ctx, "discarded") // want `span from trace start call is discarded`
+}
+
+func escapes(ctx context.Context, h *holder) {
+	_, h.sp = trace.Start(ctx, "escapes") // want `stored outside the function`
+}
+
+func escapesAnnotated(ctx context.Context, h *holder) {
+	//wmlint:ignore spanend the holder's Close ends it; fixture exercises suppression
+	_, h.sp = trace.Start(ctx, "annotated")
+}
+
+func returnBetween(ctx context.Context, err error) {
+	_, sp := trace.Start(ctx, "returnBetween") // want `span "sp" is not deterministically ended`
+	if err != nil {
+		return
+	}
+	sp.End()
+}
+
+func serverLeaks(ctx context.Context, r *trace.Recorder) {
+	_, sp := r.StartServer(ctx, "serverLeaks", "") // want `span "sp" is not deterministically ended`
+	sp.SetAttr("k", "v")
+}
+
+func endsInClosure(ctx context.Context) {
+	// A plain (non-deferred) closure runs who-knows-when; its End does
+	// not dominate this function's exits.
+	_, sp := trace.Start(ctx, "endsInClosure") // want `span "sp" is not deterministically ended`
+	cleanup := func() { sp.End() }
+	_ = cleanup
+}
+
+func deferred(ctx context.Context) {
+	_, sp := trace.Start(ctx, "deferred")
+	defer sp.End()
+	sp.SetAttr("k", "v")
+}
+
+func deferredInBranch(ctx context.Context, on bool) {
+	var sp *trace.Span
+	if on {
+		_, sp = trace.Start(ctx, "deferredInBranch")
+		defer sp.End()
+	}
+	sp.SetAttr("k", "v")
+}
+
+func deferredClosure(ctx context.Context) {
+	_, sp := trace.Start(ctx, "deferredClosure")
+	defer func() {
+		sp.SetInt("n", 1)
+		sp.End()
+	}()
+}
+
+func straightLine(ctx context.Context) error {
+	_, sp := trace.Start(ctx, "straightLine")
+	sp.SetAttr("k", "v")
+	sp.End()
+	return errors.New("after the bracket")
+}
+
+func closureOwnsSpan(ctx context.Context) func() {
+	return func() {
+		_, sp := trace.Start(ctx, "closureOwnsSpan")
+		defer sp.End()
+	}
+}
+
+func closureLeaksSpan(ctx context.Context) func() {
+	return func() {
+		_, sp := trace.Start(ctx, "closureLeaksSpan") // want `span "sp" is not deterministically ended`
+		sp.SetAttr("k", "v")
+	}
+}

@@ -3,6 +3,7 @@ package mark
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/ecc"
 	"repro/internal/keyhash"
@@ -66,6 +67,27 @@ type BlockScratch struct {
 	// without materializing strings.
 	fitData []byte
 	fitOffs []int32
+
+	// hash-phase metering (EnableHashTiming): nanoseconds spent inside
+	// the two kernel calls of ScanColumns, so a traced pass can split a
+	// block's scan time into hash vs vote without touching the per-row
+	// loops. Off by default — the untimed path pays one branch per
+	// kernel call.
+	timeHash  bool
+	hashNanos int64
+}
+
+// EnableHashTiming makes this scratch's ScanColumns calls meter their
+// kernel time. Per-goroutine like the scratch itself; enable once, read
+// deltas with HashNanos.
+func (bs *BlockScratch) EnableHashTiming() { bs.timeHash = true }
+
+// HashNanos returns the kernel nanoseconds accumulated since the last
+// call and resets the counter.
+func (bs *BlockScratch) HashNanos() int64 {
+	n := bs.hashNanos
+	bs.hashNanos = 0
+	return n
 }
 
 // setBlock points the scratch at rows [lo, hi) of r, invalidating the
@@ -233,7 +255,16 @@ func (s *Scanner) ScanColumns(blk *relation.Block, t *Tally, bs *BlockScratch) e
 	}
 	bs.setColumnBlock(blk)
 	keyData, keyOffs := blk.Col(s.keyCol).Raw()
+	var hashStart time.Time
+	if bs.timeHash {
+		//wmlint:ignore determinism hash-phase metering only — the nanos feed trace spans, never the tally
+		hashStart = time.Now()
+	}
 	d1 := bs.memo.LaneColumn(s.keyCol, s.k1s, s.kern1, keyData, keyOffs)
+	if bs.timeHash {
+		//wmlint:ignore determinism hash-phase metering only — the nanos feed trace spans, never the tally
+		bs.hashNanos += int64(time.Since(hashStart))
+	}
 
 	bs.stageColumns()
 	n := blk.Rows()
@@ -255,7 +286,15 @@ func (s *Scanner) ScanColumns(blk *relation.Block, t *Tally, bs *BlockScratch) e
 	}
 
 	d2 := bs.d2For(len(bs.fitBits))
+	if bs.timeHash {
+		//wmlint:ignore determinism hash-phase metering only — the nanos feed trace spans, never the tally
+		hashStart = time.Now()
+	}
 	s.kern2.HashColumn(bs.fitData, bs.fitOffs, d2)
+	if bs.timeHash {
+		//wmlint:ignore determinism hash-phase metering only — the nanos feed trace spans, never the tally
+		bs.hashNanos += int64(time.Since(hashStart))
+	}
 	bw := uint64(s.bw)
 	for i, bit := range bs.fitBits {
 		pos := int(d2[i].Mod(bw))

@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// unescapeLabel inverts the 0.0.4 label-value escaping — what a
+// Prometheus scraper does when it reads the exposition. Round-tripping
+// through it is the correctness bar for escapeLabel: whatever bytes go
+// into a label value must come back out of the scrape identical.
+func unescapeLabel(t *testing.T, s string) string {
+	t.Helper()
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] != '\\' {
+			b.WriteByte(s[i])
+			continue
+		}
+		i++
+		if i >= len(s) {
+			t.Fatalf("dangling backslash in rendered label value %q", s)
+		}
+		switch s[i] {
+		case '\\':
+			b.WriteByte('\\')
+		case '"':
+			b.WriteByte('"')
+		case 'n':
+			b.WriteByte('\n')
+		default:
+			t.Fatalf("invalid escape \\%c in rendered label value %q", s[i], s)
+		}
+	}
+	return b.String()
+}
+
+// TestLabelEscapingRoundTrip drives the exposition-format edge cases
+// through a render-then-unescape cycle: backslashes, quotes, newlines,
+// and the adversarial combinations (a literal backslash-n that must not
+// collapse into a newline, trailing backslashes, quotes hugging
+// escapes). Every rendered line must also stay a single line — a raw
+// newline in a label value would desynchronize the whole scrape.
+func TestLabelEscapingRoundTrip(t *testing.T) {
+	values := []string{
+		`back\slash`,
+		`"quoted"`,
+		"new\nline",
+		`literal\n-not-a-newline`,
+		`trailing\`,
+		`\"`,
+		"mix\\\"\n\\n\"",
+		`\\double`,
+		"\n",
+		`"`,
+		`\`,
+	}
+	r := NewRegistry()
+	vec := r.CounterVec("rt_total", "Round-trip fixture.", "v")
+	for i, val := range values {
+		vec.With(val).Add(uint64(i) + 1)
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+
+	got := make(map[string]string) // unescaped label value -> sample value
+	for _, line := range strings.Split(b.String(), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !strings.HasPrefix(line, `rt_total{v="`) {
+			t.Fatalf("unexpected exposition line %q", line)
+		}
+		rest := strings.TrimPrefix(line, `rt_total{v="`)
+		end := strings.LastIndex(rest, `"} `)
+		if end < 0 {
+			t.Fatalf("exposition line %q does not close its label value", line)
+		}
+		got[unescapeLabel(t, rest[:end])] = rest[end+len(`"} `):]
+	}
+	if len(got) != len(values) {
+		t.Fatalf("rendered %d series, want %d:\n%s", len(got), len(values), b.String())
+	}
+	for i, val := range values {
+		want := fmt.Sprint(i + 1)
+		if got[val] != want {
+			t.Errorf("label value %q: sample = %q, want %q (series lost or collided)", val, got[val], want)
+		}
+	}
+}
+
+// TestSnapshotConcurrentVecCreation hammers the registry's two locking
+// layers at once — family creation (registry lock) and series creation
+// (family lock) — while Snapshot and WritePrometheus readers run.
+// Under -race this is the proof the scrape path can run concurrently
+// with a server registering new metrics; the final snapshot must hold
+// every series at its exact count.
+func TestSnapshotConcurrentVecCreation(t *testing.T) {
+	const (
+		goroutines = 8
+		families   = 4
+		increments = 48 // divisible by families: every series ends at increments/families
+	)
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < increments; i++ {
+				// Same family names from every goroutine: creation must
+				// dedupe to one family, counts must merge.
+				fam := fmt.Sprintf("conc_%d_total", i%families)
+				r.CounterVec(fam, "Concurrent fixture.", "g").With(fmt.Sprint(g)).Inc()
+			}
+		}(g)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < increments; i++ {
+				_ = r.Snapshot()
+				var b strings.Builder
+				_ = r.WritePrometheus(&b)
+			}
+		}()
+	}
+	wg.Wait()
+
+	snap := r.Snapshot()
+	for f := 0; f < families; f++ {
+		for g := 0; g < goroutines; g++ {
+			key := fmt.Sprintf(`conc_%d_total{g="%d"}`, f, g)
+			want := float64(increments / families)
+			if snap[key] != want {
+				t.Errorf("%s = %v, want %v", key, snap[key], want)
+			}
+		}
+	}
+}

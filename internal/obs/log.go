@@ -9,8 +9,9 @@ import (
 // NewLogger returns a text-format slog logger writing to w at the given
 // level — the one logger constructor shared by wmserver, wmtool serve,
 // and tests so log lines stay uniform across all three processes of a
-// cluster.
-func NewLogger(w io.Writer, level slog.Level) *slog.Logger {
+// cluster. Pass a *slog.LevelVar to make the level adjustable at
+// runtime (PUT /debug/loglevel); a plain slog.Level fixes it.
+func NewLogger(w io.Writer, level slog.Leveler) *slog.Logger {
 	return slog.New(slog.NewTextHandler(w, &slog.HandlerOptions{Level: level}))
 }
 
@@ -21,14 +22,30 @@ func Discard() *slog.Logger { return slog.New(slog.DiscardHandler) }
 // ParseLevel maps a -log-level flag value to a slog.Level, defaulting
 // to Info for unknown strings.
 func ParseLevel(s string) slog.Level {
+	l, _ := LookupLevel(s)
+	return l
+}
+
+// LookupLevel is the strict form of ParseLevel: ok is false for
+// anything but the four canonical spellings (plus "warning"), so the
+// loglevel endpoint can 400 a typo instead of silently going to Info.
+func LookupLevel(s string) (slog.Level, bool) {
 	switch strings.ToLower(strings.TrimSpace(s)) {
 	case "debug":
-		return slog.LevelDebug
+		return slog.LevelDebug, true
+	case "info":
+		return slog.LevelInfo, true
 	case "warn", "warning":
-		return slog.LevelWarn
+		return slog.LevelWarn, true
 	case "error":
-		return slog.LevelError
+		return slog.LevelError, true
 	default:
-		return slog.LevelInfo
+		return slog.LevelInfo, false
 	}
+}
+
+// LevelString renders a slog.Level in the flag spelling LookupLevel
+// accepts ("debug", "info", "warn", "error").
+func LevelString(l slog.Level) string {
+	return strings.ToLower(l.String())
 }

@@ -1,0 +1,60 @@
+package trace
+
+import (
+	"sort"
+	"sync"
+)
+
+// flightRecorder retains the root spans worth keeping after the ring
+// has moved on: the slowest N requests the process has served and the
+// last N that errored. Sampling does not gate it — every root span is
+// offered at End — so "why was that request slow last night?" has an
+// answer even at low sample ratios. Offers are rare (one per finished
+// request) and the lists are tiny, so a mutex is fine here; the hot
+// path stays in the ring.
+type flightRecorder struct {
+	mu      sync.Mutex
+	slots   int
+	slowest []SpanData // unordered; min evicted on overflow
+	errored []SpanData // FIFO of the last `slots` errors
+}
+
+func (f *flightRecorder) offer(s *Span) {
+	d := s.data()
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if d.Err != "" {
+		f.errored = append(f.errored, d)
+		if len(f.errored) > f.slots {
+			f.errored = f.errored[1:]
+		}
+		return
+	}
+	if len(f.slowest) < f.slots {
+		f.slowest = append(f.slowest, d)
+		return
+	}
+	min := 0
+	for i := range f.slowest {
+		if f.slowest[i].Duration < f.slowest[min].Duration {
+			min = i
+		}
+	}
+	if d.Duration > f.slowest[min].Duration {
+		f.slowest[min] = d
+	}
+}
+
+// list returns errored entries first (newest first), then the slowest
+// successes in descending duration.
+func (f *flightRecorder) list() []SpanData {
+	f.mu.Lock()
+	out := make([]SpanData, 0, len(f.errored)+len(f.slowest))
+	for i := len(f.errored) - 1; i >= 0; i-- {
+		out = append(out, f.errored[i])
+	}
+	slow := append([]SpanData(nil), f.slowest...)
+	f.mu.Unlock()
+	sort.Slice(slow, func(i, j int) bool { return slow[i].Duration > slow[j].Duration })
+	return append(out, slow...)
+}

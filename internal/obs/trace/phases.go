@@ -1,0 +1,63 @@
+package trace
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Phases accumulates the per-phase wall time of one scan: block
+// ingestion (reader goroutine parsing bytes into pooled blocks), kernel
+// hashing (the keyed-hash calls inside the block scan), voting (the
+// fitness/domain walk and tally around those calls), and the
+// stream-order merge of per-block tallies. The adds are atomics because
+// ingestion, scanning and merging run on different goroutines; the
+// totals are therefore CPU-time sums across workers, not elapsed time —
+// a 4-worker scan can report 4s of hash time inside a 1s span.
+//
+// A nil *Phases is the unsampled case: every method no-ops, and callers
+// on the zero-alloc scan path guard the clock reads themselves (no
+// time.Now when Phases is nil) so tracing costs one pointer test per
+// block when off.
+type Phases struct {
+	ingest, hash, vote, merge atomic.Int64
+}
+
+// AddIngest charges d to block ingestion; no-op on nil.
+func (p *Phases) AddIngest(d time.Duration) {
+	if p != nil {
+		p.ingest.Add(int64(d))
+	}
+}
+
+// AddHash charges d to kernel hashing; no-op on nil.
+func (p *Phases) AddHash(d time.Duration) {
+	if p != nil {
+		p.hash.Add(int64(d))
+	}
+}
+
+// AddVote charges d to the fitness/vote walk; no-op on nil.
+func (p *Phases) AddVote(d time.Duration) {
+	if p != nil {
+		p.vote.Add(int64(d))
+	}
+}
+
+// AddMerge charges d to tally merging; no-op on nil.
+func (p *Phases) AddMerge(d time.Duration) {
+	if p != nil {
+		p.merge.Add(int64(d))
+	}
+}
+
+// Annotate writes the four phase totals onto a span as *_ns attributes;
+// no-op when either side is nil.
+func (p *Phases) Annotate(s *Span) {
+	if p == nil || s == nil {
+		return
+	}
+	s.SetInt("ingest_ns", p.ingest.Load())
+	s.SetInt("hash_ns", p.hash.Load())
+	s.SetInt("vote_ns", p.vote.Load())
+	s.SetInt("merge_ns", p.merge.Load())
+}

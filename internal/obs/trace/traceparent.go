@@ -1,0 +1,58 @@
+package trace
+
+import "encoding/hex"
+
+// Header is the W3C Trace Context propagation header. The value is the
+// version-00 form:
+//
+//	00-<32 hex trace-id>-<16 hex parent-id>-<2 hex flags>
+//
+// with flag bit 0 carrying the sampled decision. Future versions (and
+// trailing extra fields, which version 00 forbids but later versions
+// allow) are rejected conservatively: an unparseable header means "no
+// upstream context" and the receiver mints a fresh trace.
+const Header = "traceparent"
+
+// flagSampled is trace-flags bit 0.
+const flagSampled = 0x01
+
+// Traceparent renders the context in version-00 wire form.
+func (sc SpanContext) Traceparent() string {
+	buf := make([]byte, 0, 55)
+	buf = append(buf, "00-"...)
+	buf = hex.AppendEncode(buf, sc.TraceID[:])
+	buf = append(buf, '-')
+	buf = hex.AppendEncode(buf, sc.SpanID[:])
+	if sc.Sampled {
+		buf = append(buf, "-01"...)
+	} else {
+		buf = append(buf, "-00"...)
+	}
+	return string(buf)
+}
+
+// ParseTraceparent decodes a version-00 traceparent value. ok is false
+// on malformed input, unknown versions, or the all-zero trace/span IDs
+// the spec declares invalid.
+func ParseTraceparent(s string) (SpanContext, bool) {
+	if len(s) != 55 || s[0] != '0' || s[1] != '0' ||
+		s[2] != '-' || s[35] != '-' || s[52] != '-' {
+		return SpanContext{}, false
+	}
+	var sc SpanContext
+	if _, err := hex.Decode(sc.TraceID[:], []byte(s[3:35])); err != nil {
+		return SpanContext{}, false
+	}
+	if _, err := hex.Decode(sc.SpanID[:], []byte(s[36:52])); err != nil {
+		return SpanContext{}, false
+	}
+	var flags [1]byte
+	if _, err := hex.Decode(flags[:], []byte(s[53:55])); err != nil {
+		return SpanContext{}, false
+	}
+	sc.Sampled = flags[0]&flagSampled != 0
+	if !sc.Valid() {
+		return SpanContext{}, false
+	}
+	return sc, true
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"io"
 	"sync"
+	"time"
 
 	"repro/internal/mark"
 	"repro/internal/relation"
@@ -66,12 +67,25 @@ func scanManyBlocks(ctx context.Context, src relation.BlockReader, scanners []*m
 		go func() {
 			defer wg.Done()
 			var bs mark.BlockScratch // one scratch per worker, reused across jobs
+			if cfg.Phases != nil {
+				bs.EnableHashTiming()
+			}
 			for job := range jobs {
 				var res blockTallies
 				if err := ctx.Err(); err != nil {
 					res.err = err
-				} else {
+				} else if cfg.Phases == nil {
 					res.parts, res.err = scanBlockGroup(ctx, scanners, job.blks, &bs, freeParts, cfg)
+				} else {
+					// Phase clocks at job granularity: the scratch meters
+					// kernel time, the remainder of the scan elapsed is the
+					// fitness/vote walk.
+					start := time.Now()
+					res.parts, res.err = scanBlockGroup(ctx, scanners, job.blks, &bs, freeParts, cfg)
+					elapsed := time.Since(start)
+					hash := time.Duration(bs.HashNanos())
+					cfg.Phases.AddHash(hash)
+					cfg.Phases.AddVote(elapsed - hash)
 				}
 				for _, blk := range job.blks {
 					relation.PutBlock(blk)
@@ -124,7 +138,14 @@ func scanManyBlocks(ctx context.Context, src relation.BlockReader, scanners []*m
 				return
 			}
 			blk := relation.GetBlock(src.Schema())
+			var readStart time.Time
+			if cfg.Phases != nil {
+				readStart = time.Now()
+			}
 			n, err := src.ReadBlock(blk, blockRows)
+			if cfg.Phases != nil {
+				cfg.Phases.AddIngest(time.Since(readStart))
+			}
 			if err == io.EOF {
 				relation.PutBlock(blk)
 				break
@@ -160,8 +181,15 @@ func scanManyBlocks(ctx context.Context, src relation.BlockReader, scanners []*m
 				firstErr = r.err
 				stopOnce.Do(func() { close(stop) })
 			} else {
+				var mergeStart time.Time
+				if cfg.Phases != nil {
+					mergeStart = time.Now()
+				}
 				for i := range totals {
 					totals[i].Merge(r.parts[i])
+				}
+				if cfg.Phases != nil {
+					cfg.Phases.AddMerge(time.Since(mergeStart))
 				}
 			}
 		}

@@ -37,6 +37,7 @@ import (
 
 	"repro/internal/ecc"
 	"repro/internal/mark"
+	"repro/internal/obs/trace"
 	"repro/internal/relation"
 )
 
@@ -64,6 +65,13 @@ type Config struct {
 	// add, typically). Multi-certificate passes (ScanMany) tick once per
 	// block, not once per certificate.
 	Progress func(tuples int)
+	// Phases, when non-nil, accumulates per-phase CPU time
+	// (ingest/hash/vote/merge) for the columnar streaming engine —
+	// coarse block-boundary clocks summed across workers, read by trace
+	// spans. Only scanManyBlocks (the ScanMany fast path) meters itself;
+	// leave nil on unsampled passes so the zero-allocation path never
+	// reads a clock.
+	Phases *trace.Phases
 }
 
 // MinChunkRows is the floor for derived chunk sizes: below this the

@@ -15,6 +15,7 @@ import (
 	"repro/internal/api"
 	"repro/internal/jobs"
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 )
 
 func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
@@ -67,7 +68,11 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	snap, err := s.jobs.Submit(req.Kind, fn)
+	// Capture the submitting request's span context so the job's queue
+	// and run spans — and through them the whole distributed fan-out —
+	// land in the same trace as the POST that started it.
+	sc, _ := trace.FromContext(r.Context())
+	snap, err := s.jobs.Submit(req.Kind, fn, jobs.WithSpanContext(sc))
 	switch {
 	case errors.Is(err, jobs.ErrQueueFull):
 		writeErr(w, api.Errorf(api.CodeQueueFull,
@@ -155,6 +160,7 @@ func jobToAPI(snap jobs.Snapshot) api.Job {
 		State:     api.JobState(snap.State),
 		CreatedAt: snap.Created,
 		Progress:  snap.Progress,
+		TraceID:   snap.TraceID,
 	}
 	if !snap.Started.IsZero() {
 		j.StartedAt = timePtr(snap.Started)

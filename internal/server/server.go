@@ -19,7 +19,10 @@
 //	                          GET    /v2/jobs            list jobs, newest first
 //	                          GET    /v2/jobs/{id}       poll a job
 //	                          DELETE /v2/jobs/{id}       cancel a job
+//	                          GET    /v2/jobs/{id}/trace assembled cross-process span tree
 //	GET    /healthz                                      liveness probe
+//	GET    /debug/traces                                 flight recorder (slowest + errored)
+//	GET/PUT /debug/loglevel                              runtime log level
 //
 // /v1 responses are bit-compatible with their original shapes (the error
 // envelope gained only the machine-readable "code" field; /v1 record
@@ -60,6 +63,7 @@ import (
 	"repro/internal/jobs"
 	"repro/internal/keyhash"
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 	"repro/internal/relation"
 	"repro/internal/server/store"
 )
@@ -99,9 +103,23 @@ type Config struct {
 	// Log, when non-nil, receives one structured line per request (with
 	// its request ID) plus cluster membership and dispatch events.
 	Log *slog.Logger
+	// LogLevel, when non-nil, is the dynamic level behind Log (build Log
+	// with obs.NewLogger over this var); PUT /debug/loglevel adjusts it
+	// at runtime. Nil leaves the level fixed and the endpoint a 404.
+	LogLevel *slog.LevelVar
 	// EnablePprof mounts net/http/pprof under /debug/pprof/ (wmserver
 	// -pprof). Off by default: profiles expose process internals.
 	EnablePprof bool
+	// Trace configures the span recorder behind GET /v2/jobs/{id}/trace
+	// and GET /debug/traces. The zero value keeps the recorder on with
+	// head sampling off: errored requests and the flight recorder still
+	// retain spans, and a sampled inbound traceparent is still honored —
+	// so a traced coordinator sees its workers' spans without per-worker
+	// flags. wmserver's -trace-sample flag sets the ratio.
+	Trace trace.Options
+	// TraceOff disables the span recorder entirely: no root spans, no
+	// flight recorder, trace endpoints reply 404.
+	TraceOff bool
 }
 
 // Server handles the HTTP API. Create with New, serve via Handler, and
@@ -119,6 +137,9 @@ type Server struct {
 	// into it, GET /metrics renders it, /healthz snapshots it.
 	obs     *obs.Registry
 	httpMet *obs.HTTPMetrics
+	// trace is this server's span recorder; nil with Config.TraceOff
+	// (every trace call site is nil-safe).
+	trace *trace.Recorder
 }
 
 // New builds a Server over an opened record store.
@@ -132,6 +153,9 @@ func New(st *store.Store, cfg Config) *Server {
 	s := &Server{store: st, cfg: cfg, mux: http.NewServeMux(), started: time.Now()}
 	s.obs = obs.NewRegistry()
 	s.httpMet = obs.NewHTTPMetrics(s.obs)
+	if !cfg.TraceOff {
+		s.trace = trace.New(cfg.Trace)
+	}
 	if cfg.ScannerCacheEntries >= 0 {
 		s.cache = core.NewScannerCache(cfg.ScannerCacheEntries)
 	}
@@ -141,6 +165,7 @@ func New(st *store.Store, cfg Config) *Server {
 		QueueDepth: cfg.JobQueueDepth,
 		Retain:     cfg.JobRetain,
 		Obs:        s.obs,
+		Trace:      s.trace,
 	})
 	// Every server executes shards; only a coordinator takes
 	// registrations (elsewhere the route 404s, so a stray -join against a
@@ -156,6 +181,15 @@ func New(st *store.Store, cfg Config) *Server {
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if s.trace != nil {
+		s.mux.HandleFunc("GET /v2/internal/trace/{id}", s.handleInternalTrace)
+		s.mux.HandleFunc("GET /v2/jobs/{id}/trace", s.handleJobTrace)
+		s.mux.HandleFunc("GET /debug/traces", s.handleFlight)
+	}
+	if cfg.LogLevel != nil {
+		s.mux.HandleFunc("GET /debug/loglevel", s.handleGetLogLevel)
+		s.mux.HandleFunc("PUT /debug/loglevel", s.handleSetLogLevel)
+	}
 	if cfg.EnablePprof {
 		s.mountPprof()
 	}
@@ -196,8 +230,13 @@ func (s *Server) DrainLongPolls() {
 
 // Handler returns the root handler — the one middleware every request
 // crosses: request-ID assignment (honoring an inbound X-Request-ID so a
-// coordinator's fan-out stays correlated), body limiting, per-route
-// metrics, structured 404/405 replies, and structured logging.
+// coordinator's fan-out stays correlated), the request's server span
+// (joining an inbound traceparent the same way), body limiting,
+// per-route metrics, structured 404/405 replies, and structured
+// logging. Infrastructure traffic — /metrics scrapes, /healthz probes,
+// /debug/* — is excluded from the per-route metrics, the request log
+// and the span recorder: a 15-second scrape loop would otherwise
+// dominate all three with data nobody audits.
 func (s *Server) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
@@ -205,11 +244,25 @@ func (s *Server) Handler() http.Handler {
 		if reqID == "" {
 			reqID = obs.NewRequestID()
 		}
-		r = r.WithContext(obs.WithRequestID(r.Context(), reqID))
+		ctx := obs.WithRequestID(r.Context(), reqID)
 		w.Header().Set(obs.RequestIDHeader, reqID)
 		rec := &obs.ResponseRecorder{ResponseWriter: w}
-		r.Body = http.MaxBytesReader(rec, r.Body, s.cfg.MaxBodyBytes)
 		_, pattern := s.mux.Handler(r)
+		route := routeLabel(pattern)
+		infra := infraPath(r.URL.Path)
+		var span *trace.Span
+		if !infra {
+			// Registered patterns already carry the method ("POST /v2/jobs");
+			// only the unmatched bucket needs it prepended.
+			name := route
+			if pattern == "" {
+				name = r.Method + " " + route
+			}
+			ctx, span = s.trace.StartServer(ctx, name, r.Header.Get(trace.Header))
+			defer span.End()
+		}
+		r = r.WithContext(ctx)
+		r.Body = http.MaxBytesReader(rec, r.Body, s.cfg.MaxBodyBytes)
 		s.httpMet.InFlight.Inc()
 		if pattern == "" {
 			// The mux default would reply with an empty-bodied 404/405;
@@ -220,7 +273,14 @@ func (s *Server) Handler() http.Handler {
 		}
 		s.httpMet.InFlight.Dec()
 		elapsed := time.Since(start)
-		route := routeLabel(pattern)
+		span.SetAttr("request_id", reqID)
+		span.SetInt("status", int64(rec.Status()))
+		if rec.Status() >= 500 {
+			span.SetError(fmt.Errorf("HTTP %d", rec.Status()))
+		}
+		if infra {
+			return
+		}
 		s.httpMet.Observe(route, r.Method, rec.Status(), elapsed, rec.Bytes())
 		if s.cfg.Log != nil {
 			s.cfg.Log.LogAttrs(r.Context(), slog.LevelInfo, "request",
@@ -233,6 +293,12 @@ func (s *Server) Handler() http.Handler {
 				slog.Duration("duration", elapsed))
 		}
 	})
+}
+
+// infraPath reports operational endpoints whose traffic is plumbing,
+// not workload: excluded from request metrics, logs and traces.
+func infraPath(p string) bool {
+	return p == "/metrics" || p == "/healthz" || p == "/debug" || strings.HasPrefix(p, "/debug/")
 }
 
 // probeMethods are the methods handleUnmatched tests a path against to

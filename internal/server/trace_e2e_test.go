@@ -1,0 +1,220 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/cluster"
+	"repro/internal/obs/trace"
+	"repro/internal/server/store"
+)
+
+// TestDistributedTraceTree is the tracing acceptance test end-to-end: a
+// distributed audit over a coordinator and two real worker servers (one
+// of which dies on its first shard, forcing a retry) must produce, at
+// GET /v2/jobs/{id}/trace, a single tree rooted at the submitting HTTP
+// request whose spans — coordinator dispatches, worker-side server
+// spans, shard executions with per-phase timings — all share one trace
+// ID stitched across processes by traceparent propagation.
+func TestDistributedTraceTree(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(st, Config{
+		Workers: 2,
+		Trace:   trace.Options{SampleRatio: 1},
+		Cluster: ClusterConfig{
+			Coordinator: true,
+			Cluster:     cluster.Config{ShardRows: 500},
+		},
+	})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() { ts.Close(); srv.Close() })
+
+	csv, domain := testCSV(t, 4000)
+	_, marked := watermarkFixture(t, ts, "trace-owner", csv, domain)
+
+	newClusterWorker(t, srv, "tw0", 2, nil)
+	// tw1 aborts its first shard at the transport — the coordinator must
+	// record the failed dispatch and retry the shard elsewhere, and the
+	// retried attempt must appear in the same trace.
+	var scans atomic.Int64
+	newClusterWorker(t, srv, "tw1", 2, func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if strings.HasSuffix(r.URL.Path, "/v2/internal/scan") && scans.Add(1) == 1 {
+				panic(http.ErrAbortHandler)
+			}
+			next.ServeHTTP(w, r)
+		})
+	})
+
+	var job api.Job
+	status := postJSON(t, ts.URL+"/v2/jobs", api.JobRequest{
+		Kind: api.JobKindVerifyBatch,
+		VerifyBatch: &api.BatchVerifyRequest{
+			Schema: testSchemaSpec,
+			Data:   marked,
+		},
+	}, &job)
+	if status != http.StatusAccepted {
+		t.Fatalf("submit status %d: %+v", status, job)
+	}
+	if len(job.TraceID) != 32 {
+		t.Fatalf("job resource carries no trace ID: %+v", job)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for !job.State.Terminal() {
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %s", job.State)
+		}
+		time.Sleep(10 * time.Millisecond)
+		resp, err := http.Get(ts.URL + "/v2/jobs/" + job.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = json.NewDecoder(resp.Body).Decode(&job)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if job.State != api.JobDone {
+		t.Fatalf("job %s: %+v", job.State, job.Error)
+	}
+	if scans.Load() < 1 {
+		t.Fatal("tw1 was never dispatched to — the retry path was not exercised")
+	}
+
+	resp, err := http.Get(ts.URL + "/v2/jobs/" + job.ID + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("trace status %d", resp.StatusCode)
+	}
+	var jt api.JobTrace
+	if err := json.NewDecoder(resp.Body).Decode(&jt); err != nil {
+		t.Fatal(err)
+	}
+	if jt.TraceID != job.TraceID {
+		t.Fatalf("trace ID mismatch: tree %s, job %s", jt.TraceID, job.TraceID)
+	}
+
+	// One root: the submitting POST /v2/jobs server span.
+	if len(jt.Roots) != 1 {
+		t.Fatalf("assembled %d roots, want exactly 1 (full retention):\n%s", len(jt.Roots), dumpTrace(t, &jt))
+	}
+	root := jt.Roots[0]
+	if root.Span.Name != "POST /v2/jobs" || root.Span.ParentID != "" {
+		t.Fatalf("root is %q (parent %q), want the submitting request span", root.Span.Name, root.Span.ParentID)
+	}
+
+	// Every span shares the job's trace ID; index by name as we walk.
+	byName := map[string][]*api.TraceNode{}
+	count := 0
+	var walk func(n *api.TraceNode)
+	walk = func(n *api.TraceNode) {
+		count++
+		if n.Span.TraceID != job.TraceID {
+			t.Errorf("span %s (%s) has trace ID %s, want %s", n.Span.SpanID, n.Span.Name, n.Span.TraceID, job.TraceID)
+		}
+		byName[n.Span.Name] = append(byName[n.Span.Name], n)
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(root)
+	if count != jt.SpanCount {
+		t.Errorf("tree holds %d spans but SpanCount = %d", count, jt.SpanCount)
+	}
+	for _, name := range []string{"job.queue", "job.run", "cluster.shard.dispatch", "shard.execute"} {
+		if len(byName[name]) == 0 {
+			t.Fatalf("no %q span in the tree:\n%s", name, dumpTrace(t, &jt))
+		}
+	}
+
+	// The aborted dispatch: an errored attempt plus a successful retry of
+	// the same shard at a higher attempt number.
+	var failedShard string
+	for _, n := range byName["cluster.shard.dispatch"] {
+		if n.Span.Error != "" {
+			failedShard = n.Span.Attrs["shard"]
+		}
+	}
+	if failedShard == "" {
+		t.Fatalf("no errored dispatch span — the aborted shard left no trace:\n%s", dumpTrace(t, &jt))
+	}
+	retried := false
+	for _, n := range byName["cluster.shard.dispatch"] {
+		if n.Span.Attrs["shard"] == failedShard && n.Span.Error == "" && n.Span.Attrs["attempt"] > "1" {
+			retried = true
+		}
+	}
+	if !retried {
+		t.Fatalf("shard %s has no successful retry dispatch:\n%s", failedShard, dumpTrace(t, &jt))
+	}
+
+	// Worker-side execution: stitched under a dispatch span via the
+	// remote server span, attributed to a worker node, and carrying the
+	// pipeline's per-phase timings.
+	var hashNs int64
+	for _, n := range byName["shard.execute"] {
+		if n.Span.Node != "tw0" && n.Span.Node != "tw1" {
+			t.Errorf("shard.execute on node %q, want a worker ID", n.Span.Node)
+		}
+		for _, key := range []string{"ingest_ns", "hash_ns", "vote_ns", "merge_ns"} {
+			v, err := strconv.ParseInt(n.Span.Attrs[key], 10, 64)
+			if err != nil {
+				t.Errorf("shard.execute missing phase attr %s: %v (attrs %v)", key, err, n.Span.Attrs)
+			} else if key == "hash_ns" {
+				hashNs += v
+			}
+		}
+	}
+	if hashNs <= 0 {
+		t.Error("summed hash_ns is zero — the phase clocks never ran on the workers")
+	}
+	stitched := false
+	for _, n := range byName["cluster.shard.dispatch"] {
+		for _, c := range n.Children {
+			if c.Span.Name == "POST /v2/internal/scan" && c.Span.Remote {
+				stitched = true
+			}
+		}
+	}
+	if !stitched {
+		t.Fatalf("no worker server span stitched under a dispatch span — traceparent did not propagate:\n%s", dumpTrace(t, &jt))
+	}
+}
+
+// dumpTrace renders the assembled tree for failure messages.
+func dumpTrace(t *testing.T, jt *api.JobTrace) string {
+	t.Helper()
+	var b strings.Builder
+	var walk func(n *api.TraceNode, depth int)
+	walk = func(n *api.TraceNode, depth int) {
+		b.WriteString(strings.Repeat("  ", depth))
+		b.WriteString(n.Span.Name)
+		b.WriteString(" [" + n.Span.Node + "]")
+		if n.Span.Error != "" {
+			b.WriteString(" error=" + n.Span.Error)
+		}
+		b.WriteString("\n")
+		for _, c := range n.Children {
+			walk(c, depth+1)
+		}
+	}
+	for _, r := range jt.Roots {
+		walk(r, 0)
+	}
+	return b.String()
+}
